@@ -1,0 +1,192 @@
+//! A fixed-capacity bit set used by the dataflow analyses.
+
+/// A set of small integers backed by `u64` words.
+///
+/// All operations preserve the capacity fixed at construction; indices at or
+/// beyond the capacity panic.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set able to hold elements `0..len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Capacity (exclusive upper bound on elements).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn check(&self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (capacity {})", self.len);
+    }
+
+    /// Insert `i`; returns true if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        self.check(i);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let newly = self.words[w] & b == 0;
+        self.words[w] |= b;
+        newly
+    }
+
+    /// Remove `i`; returns true if it was present.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity`.
+    pub fn remove(&mut self, i: usize) -> bool {
+        self.check(i);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let was = self.words[w] & b != 0;
+        self.words[w] &= !b;
+        was
+    }
+
+    /// Is `i` in the set?
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity`.
+    pub fn contains(&self, i: usize) -> bool {
+        self.check(i);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self -= other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn subtract(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `self &= other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to hold the largest element.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert!(!s.is_empty());
+        assert!(s.remove(129));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1, 3, 5].into_iter().collect();
+        let mut b = BitSet::new(6);
+        b.insert(3);
+        b.insert(4);
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert!(!u.union_with(&b)); // already a superset
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 3, 4, 5]);
+        let mut d = u.clone();
+        d.subtract(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 5]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let s = BitSet::new(4);
+        let _ = s.contains(4);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let elems = [0usize, 7, 63, 64, 65, 100];
+        let s: BitSet = elems.into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), elems);
+    }
+}

@@ -1,0 +1,142 @@
+//! Union-find (disjoint set union) with path compression and union by rank.
+//!
+//! The compiler groups loads and stores that frequently access the same
+//! locations by taking connected components of the frequent-dependence graph
+//! (§2.3); this is the component structure.
+
+/// Disjoint-set forest over `0..len`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        Self {
+            parent: (0..len).collect(),
+            rank: vec![0; len],
+            components: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Current number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set.
+    ///
+    /// # Panics
+    /// Panics if `x >= len`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were distinct.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Group all elements by representative; groups (and members) sorted by
+    /// smallest element.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for i in 0..n {
+            let root = self.find(i);
+            by_root.entry(root).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(6);
+        assert_eq!(uf.component_count(), 6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert!(uf.union(3, 4));
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+        assert!(!uf.same(2, 5));
+        assert_eq!(uf.len(), 6);
+        assert!(!uf.is_empty());
+    }
+
+    #[test]
+    fn groups_are_sorted_and_partition() {
+        let mut uf = UnionFind::new(5);
+        uf.union(4, 2);
+        uf.union(0, 3);
+        let groups = uf.groups();
+        assert_eq!(groups, vec![vec![0, 3], vec![1], vec![2, 4]]);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn long_chains_compress() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.same(0, n - 1));
+        assert_eq!(uf.groups().len(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the analysis data structures: `BitSet` against a
+//! `HashSet` model and `UnionFind` against a naive partition model.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use tls_analysis::{BitSet, UnionFind};
+
+#[derive(Clone, Copy, Debug)]
+enum SetOp {
+    Insert(u8),
+    Remove(u8),
+    Query(u8),
+}
+
+fn set_op() -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        any::<u8>().prop_map(SetOp::Insert),
+        any::<u8>().prop_map(SetOp::Remove),
+        any::<u8>().prop_map(SetOp::Query),
+    ]
+}
+
+proptest! {
+    /// BitSet behaves exactly like HashSet<usize> under random operations.
+    #[test]
+    fn bitset_matches_hashset_model(ops in prop::collection::vec(set_op(), 0..200)) {
+        let mut bs = BitSet::new(256);
+        let mut model: HashSet<usize> = HashSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(x) => {
+                    prop_assert_eq!(bs.insert(x as usize), model.insert(x as usize));
+                }
+                SetOp::Remove(x) => {
+                    prop_assert_eq!(bs.remove(x as usize), model.remove(&(x as usize)));
+                }
+                SetOp::Query(x) => {
+                    prop_assert_eq!(bs.contains(x as usize), model.contains(&(x as usize)));
+                }
+            }
+            prop_assert_eq!(bs.count(), model.len());
+        }
+        let mut collected: Vec<usize> = bs.iter().collect();
+        let mut expected: Vec<usize> = model.into_iter().collect();
+        collected.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(collected, expected);
+    }
+
+    /// Set algebra agrees with the HashSet model.
+    #[test]
+    fn bitset_algebra_matches_model(
+        a in prop::collection::hash_set(0usize..128, 0..64),
+        b in prop::collection::hash_set(0usize..128, 0..64),
+    ) {
+        let mk = |s: &HashSet<usize>| {
+            let mut bs = BitSet::new(128);
+            for &x in s {
+                bs.insert(x);
+            }
+            bs
+        };
+        let (ba, bb) = (mk(&a), mk(&b));
+        let mut u = ba.clone();
+        u.union_with(&bb);
+        let mut i = ba.clone();
+        i.intersect_with(&bb);
+        let mut d = ba.clone();
+        d.subtract(&bb);
+        let sorted = |s: HashSet<usize>| {
+            let mut v: Vec<usize> = s.into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(u.iter().collect::<Vec<_>>(), sorted(a.union(&b).copied().collect()));
+        prop_assert_eq!(i.iter().collect::<Vec<_>>(), sorted(a.intersection(&b).copied().collect()));
+        prop_assert_eq!(d.iter().collect::<Vec<_>>(), sorted(a.difference(&b).copied().collect()));
+    }
+
+    /// UnionFind's equivalence classes match a naive model that relabels
+    /// exhaustively on every union.
+    #[test]
+    fn unionfind_matches_naive_partition(
+        n in 1usize..64,
+        unions in prop::collection::vec((any::<u16>(), any::<u16>()), 0..100),
+    ) {
+        let mut uf = UnionFind::new(n);
+        let mut label: Vec<usize> = (0..n).collect();
+        for (a, b) in unions {
+            let (a, b) = (a as usize % n, b as usize % n);
+            uf.union(a, b);
+            let (la, lb) = (label[a], label[b]);
+            if la != lb {
+                for l in &mut label {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+        }
+        for x in 0..n {
+            for y in 0..n {
+                prop_assert_eq!(uf.same(x, y), label[x] == label[y], "{} vs {}", x, y);
+            }
+        }
+        let classes: HashSet<usize> = label.iter().copied().collect();
+        prop_assert_eq!(uf.component_count(), classes.len());
+        // groups() partitions 0..n.
+        let groups = uf.groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+    }
+}

@@ -1,0 +1,171 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * **signal scheduling** — early forwarding (signal right after the
+//!   producing store) versus latch-time signalling; the early placement is
+//!   the paper's instruction-scheduling insight applied to memory values;
+//! * **dependence-tracking granularity** — cache-line (the paper's
+//!   hardware) versus per-word (removes false sharing, m88ksim's problem);
+//! * **relay forwarding** — an extension where epochs that do not produce a
+//!   group's value relay the incoming signal instead of sending NULL,
+//!   helping distance-2 dependences.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tls_core::CompileOptions;
+use tls_experiments::{Harness, Mode, Scale};
+use tls_sim::{Machine, SimConfig};
+
+fn ablation_signal_scheduling(c: &mut Criterion) {
+    let w = tls_workloads::by_name("gzip_decomp").expect("workload exists");
+    let early = Harness::new(w, Scale::Quick).expect("harness builds");
+    let late = Harness::with_options(
+        w,
+        Scale::Quick,
+        &CompileOptions {
+            schedule_signals: false,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("harness builds");
+    let e = early.run(Mode::CompilerRef).expect("runs");
+    let l = late.run(Mode::CompilerRef).expect("runs");
+    assert!(
+        e.region_cycles() <= l.region_cycles() * 11 / 10,
+        "early signalling should not lose to latch signalling"
+    );
+    println!(
+        "\nablation signal scheduling (gzip_decomp region cycles): early {} vs latch {}",
+        e.region_cycles(),
+        l.region_cycles()
+    );
+    c.bench_function("ablation_early_signal", |b| {
+        b.iter(|| early.run(Mode::CompilerRef).expect("runs"));
+    });
+    c.bench_function("ablation_latch_signal", |b| {
+        b.iter(|| late.run(Mode::CompilerRef).expect("runs"));
+    });
+}
+
+fn ablation_word_granularity(c: &mut Criterion) {
+    let w = tls_workloads::by_name("m88ksim").expect("workload exists");
+    let h = Harness::new(w, Scale::Quick).expect("harness builds");
+    let line = Machine::new(&h.set_c.unsync, SimConfig::cgo2004())
+        .run()
+        .expect("runs");
+    assert_eq!(line.output, h.seq.output, "line-granularity run must stay correct");
+    let word = Machine::new(
+        &h.set_c.unsync,
+        SimConfig {
+            word_grain: true,
+            ..SimConfig::cgo2004()
+        },
+    )
+    .run()
+    .expect("runs");
+    println!(
+        "\nablation tracking granularity (m88ksim violations): line {} vs word {}",
+        line.total_violations, word.total_violations
+    );
+    assert!(
+        word.total_violations < line.total_violations,
+        "word-granularity tracking must remove false-sharing violations"
+    );
+    c.bench_function("ablation_line_grain", |b| {
+        b.iter(|| {
+            Machine::new(&h.set_c.unsync, SimConfig::cgo2004())
+                .run()
+                .expect("runs")
+        });
+    });
+    c.bench_function("ablation_word_grain", |b| {
+        b.iter(|| {
+            Machine::new(
+                &h.set_c.unsync,
+                SimConfig {
+                    word_grain: true,
+                    ..SimConfig::cgo2004()
+                },
+            )
+            .run()
+            .expect("runs")
+        });
+    });
+}
+
+fn ablation_relay_forwarding(c: &mut Criterion) {
+    let w = tls_workloads::by_name("parser").expect("workload exists");
+    let h = Harness::new(w, Scale::Quick).expect("harness builds");
+    let null = Machine::new(&h.set_c.synced, SimConfig::cgo2004())
+        .run()
+        .expect("runs");
+    let relay = Machine::new(
+        &h.set_c.synced,
+        SimConfig {
+            relay_forwarding: true,
+            ..SimConfig::cgo2004()
+        },
+    )
+    .run()
+    .expect("runs");
+    assert_eq!(relay.output, h.seq.output, "relay forwarding must stay correct");
+    println!(
+        "\nablation relay forwarding (parser region cycles): null {} vs relay {}",
+        null.region_cycles(),
+        relay.region_cycles()
+    );
+    c.bench_function("ablation_null_signal", |b| {
+        b.iter(|| {
+            Machine::new(&h.set_c.synced, SimConfig::cgo2004())
+                .run()
+                .expect("runs")
+        });
+    });
+    c.bench_function("ablation_relay_signal", |b| {
+        b.iter(|| {
+            Machine::new(
+                &h.set_c.synced,
+                SimConfig {
+                    relay_forwarding: true,
+                    ..SimConfig::cgo2004()
+                },
+            )
+            .run()
+            .expect("runs")
+        });
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    ablation_signal_scheduling(c);
+    ablation_word_granularity(c);
+    ablation_relay_forwarding(c);
+    ablation_hybrid_filter(c);
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = benches
+}
+criterion_main!(ablations);
+
+// Appended: the paper's proposed hybrid enhancement (iii), implemented as
+// `SimConfig::hybrid_filter` — hardware tracks forwarded-value usefulness
+// and releases loads whose synchronization never pays.
+fn ablation_hybrid_filter(c: &mut Criterion) {
+    let w = tls_workloads::by_name("twolf").expect("workload exists");
+    let h = Harness::new(w, Scale::Quick).expect("harness builds");
+    let plain = h.run(Mode::Hybrid).expect("runs");
+    let filtered = h.run(Mode::HybridFiltered).expect("runs");
+    println!(
+        "\nablation hybrid filter (twolf region cycles): B {} vs B+ {}",
+        plain.region_cycles(),
+        filtered.region_cycles()
+    );
+    assert!(filtered.region_cycles() < plain.region_cycles());
+    c.bench_function("ablation_hybrid_plain", |b| {
+        b.iter(|| h.run(Mode::Hybrid).expect("runs"));
+    });
+    c.bench_function("ablation_hybrid_filtered", |b| {
+        b.iter(|| h.run(Mode::HybridFiltered).expect("runs"));
+    });
+}

@@ -1,0 +1,76 @@
+//! One Criterion benchmark per table/figure of the paper's evaluation.
+//!
+//! Each benchmark regenerates its figure on a small, representative
+//! workload subset at `Quick` scale and prints the resulting table once
+//! (so `cargo bench` both measures and reproduces). The full-scale
+//! reproduction over all sixteen workloads is `repro all` in
+//! `tls-experiments`.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tls_experiments::{figures, Harness, Scale, Table};
+
+/// Workload subset per figure: chosen so each figure's headline contrast is
+/// visible (parser = compiler win, m88ksim = hardware win, gzip_decomp =
+/// early forwarding, twolf = over-synchronization).
+fn subset(names: &[&str]) -> &'static [Harness] {
+    static CACHE: OnceLock<std::sync::Mutex<HashMap<String, &'static [Harness]>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| std::sync::Mutex::new(HashMap::new()));
+    let key = names.join(",");
+    let mut guard = cache.lock().expect("cache lock");
+    if let Some(h) = guard.get(&key) {
+        return h;
+    }
+    let harnesses: Vec<Harness> = names
+        .iter()
+        .map(|n| {
+            let w = tls_workloads::by_name(n).expect("workload exists");
+            Harness::new(w, Scale::Quick).expect("harness builds")
+        })
+        .collect();
+    let leaked: &'static [Harness] = Box::leak(harnesses.into_boxed_slice());
+    guard.insert(key, leaked);
+    leaked
+}
+
+fn show_once(name: &str, table: &Table) {
+    static SHOWN: OnceLock<std::sync::Mutex<std::collections::HashSet<String>>> = OnceLock::new();
+    let shown = SHOWN.get_or_init(|| std::sync::Mutex::new(std::collections::HashSet::new()));
+    if shown.lock().expect("lock").insert(name.to_string()) {
+        println!("\n{table}");
+    }
+}
+
+fn bench_figure(c: &mut Criterion, name: &str, names: &[&str], f: FigFn) {
+    let hs = subset(names);
+    let t = f(hs).expect("figure renders");
+    show_once(name, &t);
+    c.bench_function(name, |b| {
+        b.iter(|| f(hs).expect("figure renders"));
+    });
+}
+
+type FigFn = fn(&[Harness]) -> Result<Table, tls_experiments::ExperimentError>;
+
+fn benches(c: &mut Criterion) {
+    bench_figure(c, "fig2_potential", &["parser", "ijpeg"], figures::fig2);
+    bench_figure(c, "fig6_threshold", &["bzip2_comp", "gzip_comp1"], figures::fig6);
+    bench_figure(c, "fig7_distance", &["parser", "mcf"], figures::fig7);
+    bench_figure(c, "fig8_compiler_sync", &["parser", "gzip_comp1"], figures::fig8);
+    bench_figure(c, "fig9_sync_cost", &["gzip_decomp", "parser"], figures::fig9);
+    bench_figure(c, "fig10_hw_vs_sw", &["m88ksim", "gzip_decomp"], figures::fig10);
+    bench_figure(c, "fig11_overlap", &["parser", "m88ksim"], figures::fig11);
+    bench_figure(c, "fig12_program", &["parser", "twolf"], figures::fig12);
+    bench_figure(c, "table2_speedups", &["parser", "go"], figures::table2);
+    bench_figure(c, "compiler_report", &["parser"], figures::compiler_report);
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = benches
+}
+criterion_main!(paper);

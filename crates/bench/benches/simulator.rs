@@ -1,0 +1,44 @@
+//! Raw simulator throughput benchmarks: how fast the TLS machine executes
+//! one workload under the main evaluation modes. Useful for tracking
+//! simulator performance regressions independently of the figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tls_experiments::{Harness, Mode, Scale};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    for name in ["parser", "ijpeg", "m88ksim"] {
+        let w = tls_workloads::by_name(name).expect("workload exists");
+        let h = Harness::new(w, Scale::Quick).expect("harness builds");
+        for mode in [Mode::Seq, Mode::Unsync, Mode::CompilerRef, Mode::HwSync] {
+            group.bench_with_input(
+                BenchmarkId::new(name, mode.label()),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| h.run(mode).expect("runs"));
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("compile");
+    for name in ["parser", "gzip_comp1"] {
+        let w = tls_workloads::by_name(name).expect("workload exists");
+        let module = w.module(tls_workloads::InputSet::Train);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                tls_core::compile_all(&module, &module, &tls_core::CompileOptions::default())
+                    .expect("compiles")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = simulator;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = benches
+}
+criterion_main!(simulator);

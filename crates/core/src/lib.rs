@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! The CGO 2004 paper's contribution: compiler passes that turn an ordinary
+//! program into a TLS program with efficient value communication.
+//!
+//! Pipeline (§2.3 and §3.1):
+//!
+//! 1. **Region selection** ([`select`]) — profile loop coverage, trip counts
+//!    and epoch sizes; choose non-nested loops worth parallelizing
+//!    (≥ 0.1 % of execution, ≥ 1.5 epochs per instance, ≥ 15 instructions
+//!    per epoch).
+//! 2. **Unrolling** ([`unroll`]) — unroll small loops so epochs amortize
+//!    spawn/commit overheads.
+//! 3. **Scalar synchronization** ([`scalar`]) — privatize induction
+//!    variables via the epoch index and insert `wait`/`signal` pairs for the
+//!    remaining loop-carried scalars (the prior work this paper builds on).
+//! 4. **Memory-resident synchronization** ([`memsync`]) — profile
+//!    inter-epoch dependences, keep edges above the frequency threshold,
+//!    group accesses by connected component, **clone** the procedures on
+//!    each synchronized access's call stack, replace the loads with
+//!    `SyncLoad` and follow the stores with `SignalMem` (plus a guarded
+//!    `SignalMemNull` on paths that never produce).
+//!
+//! The whole pipeline is driven by [`compile_all`], which returns the
+//! sequential baseline, the `U` module (scalar sync only) and the
+//! synchronized module for a given profiling input, along with the
+//! compiler's chosen load set (used by the Figure 11 marking experiment).
+
+pub mod clone;
+pub mod memsync;
+mod options;
+pub mod pipeline;
+pub mod scalar;
+pub mod select;
+pub mod unroll;
+
+pub use options::{CompileOptions, CompileReport, RegionSummary};
+pub use pipeline::{compile_all, loads_above_threshold, CompilationSet, CompileError};

@@ -1,0 +1,114 @@
+//! Command-line driver for the reproduction.
+//!
+//! ```text
+//! repro <target> [--quick] [--workloads a,b,c]
+//!
+//! targets: fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 report all
+//! ```
+//!
+//! `--quick` measures the train inputs (fast); the default measures ref.
+
+use std::process::ExitCode;
+
+use tls_experiments::{figures, Harness, Scale};
+use tls_workloads::Workload;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <fig2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|report|all|list> \
+         [--quick] [--workloads a,b,c]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(target) = args.first().cloned() else {
+        return usage();
+    };
+    if target == "list" {
+        for w in tls_workloads::all() {
+            println!("{:<14} {:<20} {}", w.name, w.paper_name, w.pattern);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut scale = Scale::Full;
+    let mut filter: Option<Vec<String>> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--workloads" => {
+                let Some(list) = it.next() else {
+                    return usage();
+                };
+                filter = Some(list.split(',').map(str::to_string).collect());
+            }
+            _ => return usage(),
+        }
+    }
+    let workloads: Vec<Workload> = match &filter {
+        None => tls_workloads::all(),
+        Some(names) => {
+            let mut out = Vec::new();
+            for n in names {
+                match tls_workloads::by_name(n) {
+                    Some(w) => out.push(w),
+                    None => {
+                        eprintln!("unknown workload `{n}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            out
+        }
+    };
+
+    eprintln!(
+        "preparing {} workload(s) at {:?} scale (compile + profile + sequential baseline)...",
+        workloads.len(),
+        scale
+    );
+    let mut harnesses = Vec::new();
+    for w in workloads {
+        eprintln!("  {} ({})", w.name, w.paper_name);
+        match Harness::new(w, scale) {
+            Ok(h) => harnesses.push(h),
+            Err(e) => {
+                eprintln!("failed to prepare {}: {e}", w.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let targets: Vec<&str> = if target == "all" {
+        vec![
+            "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table2", "report",
+        ]
+    } else {
+        vec![target.as_str()]
+    };
+    for t in targets {
+        let table = match t {
+            "fig2" => figures::fig2(&harnesses),
+            "fig6" => figures::fig6(&harnesses),
+            "fig7" => figures::fig7(&harnesses),
+            "fig8" => figures::fig8(&harnesses),
+            "fig9" => figures::fig9(&harnesses),
+            "fig10" => figures::fig10(&harnesses),
+            "fig11" => figures::fig11(&harnesses),
+            "fig12" => figures::fig12(&harnesses),
+            "table2" => figures::table2(&harnesses),
+            "report" => figures::compiler_report(&harnesses),
+            _ => return usage(),
+        };
+        match table {
+            Ok(t) => println!("{t}"),
+            Err(e) => {
+                eprintln!("{t} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,408 @@
+//! One driver per table/figure of the paper's evaluation.
+//!
+//! Every function takes prepared [`Harness`]es (compile once, reuse across
+//! figures) and renders a [`Table`] whose rows correspond to the paper's
+//! bars or table rows. Region bars are normalized execution time
+//! (sequential = 100) split into busy/fail/sync/other, exactly like the
+//! paper's stacked bars.
+
+use tls_profile::DIST_BUCKETS;
+
+use crate::harness::{ExperimentError, Harness, Mode};
+use crate::report::{f2, pct, Table};
+
+fn bar_cells(h: &Harness, mode: Mode) -> Result<Vec<String>, ExperimentError> {
+    let r = h.run(mode)?;
+    let b = h.bar(mode, &r);
+    Ok(vec![
+        mode.label(),
+        f2(b.norm_time),
+        f2(b.busy),
+        f2(b.fail),
+        f2(b.sync),
+        f2(b.other),
+        b.violations.to_string(),
+    ])
+}
+
+fn bars_table(
+    title: &str,
+    harnesses: &[Harness],
+    modes: &[Mode],
+) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        title,
+        &["bench", "bar", "time", "busy", "fail", "sync", "other", "violations"],
+    );
+    for h in harnesses {
+        for (k, &mode) in modes.iter().enumerate() {
+            let mut cells = vec![if k == 0 {
+                h.workload.name.to_string()
+            } else {
+                String::new()
+            }];
+            cells.extend(bar_cells(h, mode)?);
+            t.row(cells);
+        }
+    }
+    Ok(t)
+}
+
+/// Figure 2: potential impact of eliminating failed speculation — the `U`
+/// baseline versus `O` (perfect forwarding of every memory value).
+pub fn fig2(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
+    bars_table(
+        "Figure 2: region time, U (TLS baseline) vs O (perfect memory value prediction)",
+        harnesses,
+        &[Mode::Unsync, Mode::OracleAll],
+    )
+}
+
+/// Figure 6: perfect prediction restricted to loads whose dependence
+/// frequency exceeds 25 %, 15 % and 5 % — the threshold study that selects
+/// the paper's 5 % synchronization threshold.
+pub fn fig6(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
+    bars_table(
+        "Figure 6: perfect prediction of loads above a dependence-frequency threshold",
+        harnesses,
+        &[
+            Mode::Unsync,
+            Mode::Threshold(25),
+            Mode::Threshold(15),
+            Mode::Threshold(5),
+            Mode::OracleAll,
+        ],
+    )
+}
+
+/// Figure 7: distribution of dependence distances for the frequent
+/// (≥ 5 % of epochs) inter-epoch dependences — forwarding to the successor
+/// epoch only pays off because distance 1 dominates.
+pub fn fig7(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
+    let mut headers = vec!["bench".to_string()];
+    for d in 1..DIST_BUCKETS {
+        headers.push(format!("d={d}"));
+    }
+    headers.push(format!("d>={DIST_BUCKETS}"));
+    let mut t = Table::new(
+        "Figure 7: dependence distance distribution of frequent dependences (% of occurrences)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for h in harnesses {
+        let mut hist = [0u64; DIST_BUCKETS];
+        for summary in &h.set_c.regions {
+            let Some(lp) = h.set_c.dep_profile.loops.get(&summary.loop_key) else {
+                continue;
+            };
+            for e in lp.edges.values() {
+                if lp.total_iters > 0
+                    && e.epochs as f64 / lp.total_iters as f64 >= 0.05
+                {
+                    for (i, n) in e.dist_hist.iter().enumerate() {
+                        hist[i] += n;
+                    }
+                }
+            }
+        }
+        let total: u64 = hist.iter().sum();
+        let mut row = vec![h.workload.name.to_string()];
+        for n in hist {
+            row.push(if total == 0 {
+                "-".into()
+            } else {
+                pct(n as f64 / total as f64)
+            });
+        }
+        t.row(row);
+    }
+    Ok(t)
+}
+
+/// Figure 8: compiler-inserted synchronization — `U` vs `T` (train profile)
+/// vs `C` (ref profile).
+pub fn fig8(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
+    bars_table(
+        "Figure 8: compiler-inserted memory synchronization (U / T / C)",
+        harnesses,
+        &[Mode::Unsync, Mode::CompilerTrain, Mode::CompilerRef],
+    )
+}
+
+/// Figure 9: the cost of synchronization — `C` vs `E` (perfect value, no
+/// stall) vs `L` (stall until the previous epoch completes).
+pub fn fig9(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
+    bars_table(
+        "Figure 9: synchronization cost (C / E perfect / L stall-till-complete)",
+        harnesses,
+        &[Mode::CompilerRef, Mode::PerfectSync, Mode::LateSync],
+    )
+}
+
+/// Figure 10: hardware techniques vs the compiler — `U`, `P` (prediction),
+/// `H` (hardware sync), `C` (compiler sync), `B` (hybrid).
+pub fn fig10(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
+    bars_table(
+        "Figure 10: hardware vs compiler synchronization (U / P / H / C / B)",
+        harnesses,
+        &[
+            Mode::Unsync,
+            Mode::HwPredict,
+            Mode::HwSync,
+            Mode::CompilerRef,
+            Mode::Hybrid,
+        ],
+    )
+}
+
+/// Figure 11: violations classified by which scheme would have synchronized
+/// the violating load, under the four stall modes.
+pub fn fig11(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
+    use tls_sim::ViolationClass as VC;
+    let mut t = Table::new(
+        "Figure 11: violating loads by would-be-synchronizing scheme",
+        &["bench", "mode", "neither", "C-only", "H-only", "both", "total"],
+    );
+    let modes = [
+        (false, false),
+        (true, false),
+        (false, true),
+        (true, true),
+    ];
+    for h in harnesses {
+        for (k, &(sc, sh)) in modes.iter().enumerate() {
+            let mode = Mode::Marking {
+                stall_compiler: sc,
+                stall_hardware: sh,
+            };
+            let r = h.run(mode)?;
+            let cls = r.violation_class_totals();
+            let get = |c: VC| cls.get(&c).copied().unwrap_or(0);
+            let total: u64 = cls.values().sum();
+            t.row(vec![
+                if k == 0 {
+                    h.workload.name.to_string()
+                } else {
+                    String::new()
+                },
+                mode.label(),
+                get(VC::Neither).to_string(),
+                get(VC::CompilerOnly).to_string(),
+                get(VC::HardwareOnly).to_string(),
+                get(VC::Both).to_string(),
+                total.to_string(),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
+/// Figure 12: whole-program execution time under `U`, `C`, `H`, `B`
+/// (sequential = 1.0; larger speedup is better).
+pub fn fig12(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        "Figure 12: program speedup over sequential (U / C / H / B)",
+        &["bench", "coverage", "U", "C", "H", "B"],
+    );
+    for h in harnesses {
+        let mut cells = vec![h.workload.name.to_string(), String::new()];
+        for (i, mode) in [Mode::Unsync, Mode::CompilerRef, Mode::HwSync, Mode::Hybrid]
+            .into_iter()
+            .enumerate()
+        {
+            let r = h.run(mode)?;
+            let s = h.program_stats(mode, &r);
+            if i == 0 {
+                cells[1] = pct(s.coverage);
+            }
+            cells.push(f2(s.program_speedup));
+        }
+        t.row(cells);
+    }
+    Ok(t)
+}
+
+/// Table 2: region coverage and region/sequential/program speedups for the
+/// compiler-only (`C`) and hybrid (`B`) configurations.
+pub fn table2(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        "Table 2: coverage and speedups (relative to sequential execution)",
+        &[
+            "bench",
+            "coverage",
+            "region B",
+            "region C",
+            "seq B",
+            "seq C",
+            "program B",
+            "program C",
+        ],
+    );
+    for h in harnesses {
+        let rb = h.run(Mode::Hybrid)?;
+        let rc = h.run(Mode::CompilerRef)?;
+        let sb = h.program_stats(Mode::Hybrid, &rb);
+        let sc = h.program_stats(Mode::CompilerRef, &rc);
+        t.row(vec![
+            h.workload.name.to_string(),
+            pct(sb.coverage),
+            f2(sb.region_speedup),
+            f2(sc.region_speedup),
+            f2(sb.sequential_speedup),
+            f2(sc.sequential_speedup),
+            f2(sb.program_speedup),
+            f2(sc.program_speedup),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Compiler statistics table (code growth, clones, groups — the paper's
+/// in-text claims: < 1 % growth from cloning, ≤ 10-entry signal buffer).
+pub fn compiler_report(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        "Compiler statistics",
+        &[
+            "bench", "regions", "unroll", "chans", "privat", "groups", "syncld", "sigst",
+            "clones", "growth", "sigbuf",
+        ],
+    );
+    for h in harnesses {
+        let r = h.run(Mode::CompilerRef)?;
+        let rep = &h.set_c.report;
+        let unrolls: Vec<String> = h.set_c.regions.iter().map(|r| r.unroll.to_string()).collect();
+        t.row(vec![
+            h.workload.name.to_string(),
+            h.set_c.regions.len().to_string(),
+            unrolls.join("/"),
+            rep.scalar_channels.to_string(),
+            rep.privatized.to_string(),
+            rep.groups.to_string(),
+            rep.sync_loads.to_string(),
+            rep.signalled_stores.to_string(),
+            rep.clones.to_string(),
+            f2(rep.code_growth()),
+            r.max_signal_buffer.to_string(),
+        ]);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Scale;
+
+    fn quick(name: &str) -> Harness {
+        let w = tls_workloads::by_name(name).expect("workload exists");
+        Harness::new(w, Scale::Quick).expect("harness builds")
+    }
+
+    #[test]
+    fn parser_compiler_sync_beats_baseline() {
+        let h = quick("parser");
+        let u = h.run(Mode::Unsync).expect("U runs");
+        let c = h.run(Mode::CompilerRef).expect("C runs");
+        let bu = h.bar(Mode::Unsync, &u);
+        let bc = h.bar(Mode::CompilerRef, &c);
+        assert!(
+            bc.fail < bu.fail * 0.5,
+            "compiler sync must cut fail slots: C {:.1} vs U {:.1}",
+            bc.fail,
+            bu.fail
+        );
+        assert!(
+            bc.norm_time < bu.norm_time,
+            "parser: C {:.1} should beat U {:.1}",
+            bc.norm_time,
+            bu.norm_time
+        );
+        assert!(bc.norm_time < 100.0, "parser under C must beat sequential");
+    }
+
+    #[test]
+    fn oracle_bounds_every_other_mode() {
+        let h = quick("go");
+        let o = h.run(Mode::OracleAll).expect("O runs");
+        let u = h.run(Mode::Unsync).expect("U runs");
+        // O is an upper bound up to second-order timing noise (cache and
+        // branch-predictor state differ slightly between the runs).
+        assert!(
+            o.region_cycles() as f64 <= u.region_cycles() as f64 * 1.05,
+            "O {} should not exceed U {} by more than noise",
+            o.region_cycles(),
+            u.region_cycles()
+        );
+        assert_eq!(o.total_violations, 0);
+    }
+
+    #[test]
+    fn threshold_modes_are_monotonic() {
+        let h = quick("bzip2_comp");
+        let t25 = h.run(Mode::Threshold(25)).expect("runs");
+        let t5 = h.run(Mode::Threshold(5)).expect("runs");
+        let o = h.run(Mode::OracleAll).expect("runs");
+        // More perfectly-predicted loads → no more violations.
+        assert!(t5.total_violations <= t25.total_violations);
+        assert!(o.total_violations <= t5.total_violations);
+    }
+
+    #[test]
+    fn m88ksim_prefers_hardware_sync() {
+        let h = quick("m88ksim");
+        let c = h.run(Mode::CompilerRef).expect("C runs");
+        let hw = h.run(Mode::HwSync).expect("H runs");
+        assert!(
+            hw.total_violations < c.total_violations,
+            "hardware must remove false-sharing violations: H {} vs C {}",
+            hw.total_violations,
+            c.total_violations
+        );
+        assert!(
+            hw.region_cycles() < c.region_cycles(),
+            "m88ksim: H {} should beat C {}",
+            hw.region_cycles(),
+            c.region_cycles()
+        );
+    }
+
+    #[test]
+    fn fig11_classifies_marked_loads() {
+        let h = quick("parser");
+        let r = h
+            .run(Mode::Marking {
+                stall_compiler: false,
+                stall_hardware: false,
+            })
+            .expect("marking run");
+        let cls = r.violation_class_totals();
+        let compiler_covered: u64 = cls
+            .iter()
+            .filter(|(k, _)| {
+                matches!(
+                    k,
+                    tls_sim::ViolationClass::CompilerOnly | tls_sim::ViolationClass::Both
+                )
+            })
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(
+            compiler_covered > 0,
+            "parser's violating loads are compiler-marked: {cls:?}"
+        );
+    }
+
+    #[test]
+    fn tables_render_for_a_small_set() {
+        let hs = vec![quick("ijpeg")];
+        for table in [
+            fig2(&hs).expect("fig2"),
+            fig7(&hs).expect("fig7"),
+            fig12(&hs).expect("fig12"),
+            table2(&hs).expect("table2"),
+            compiler_report(&hs).expect("report"),
+        ] {
+            let s = table.to_string();
+            assert!(s.contains("ijpeg"), "{s}");
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Per-workload harness: compile once, run any evaluation mode.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use tls_core::{compile_all, loads_above_threshold, CompilationSet, CompileError, CompileOptions};
+use tls_profile::{record_oracle, ExecError, ValueOracle};
+use tls_sim::{Machine, OracleSel, SimConfig, SimError, SimResult, SyncLoadPolicy};
+use tls_workloads::{InputSet, Workload};
+
+/// How big a run to perform.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Measure the `train` input (fast; used in tests and Criterion).
+    Quick,
+    /// Measure the `ref` input, profile-on-train available (the paper's
+    /// setup).
+    Full,
+}
+
+/// An evaluation configuration (see the crate docs for the letter mapping).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Sequential execution of the original program.
+    Seq,
+    /// `U`: scalar synchronization only.
+    Unsync,
+    /// `O`: every region load perfectly predicted.
+    OracleAll,
+    /// Figure 6: loads with dependence frequency above `percent`% perfectly
+    /// predicted.
+    Threshold(u8),
+    /// `T`: memory sync from the train profile.
+    CompilerTrain,
+    /// `C`: memory sync from the ref profile.
+    CompilerRef,
+    /// `E`: synchronized loads get the perfect value with zero stall.
+    PerfectSync,
+    /// `L`: synchronized loads stall until the previous epoch completes.
+    LateSync,
+    /// `P`: hardware value prediction for violating loads.
+    HwPredict,
+    /// `H`: hardware-inserted synchronization.
+    HwSync,
+    /// `B`: compiler and hardware synchronization together.
+    Hybrid,
+    /// `B+`: the hybrid with the paper's proposed enhancement (iii) —
+    /// hardware filters out compiler-inserted synchronization that rarely
+    /// forwards a usable value.
+    HybridFiltered,
+    /// Figure 11 marking run on the `U` module: optionally stall
+    /// compiler-marked loads and/or hardware-flagged loads; violations are
+    /// classified either way.
+    Marking {
+        /// Stall the compiler-chosen loads.
+        stall_compiler: bool,
+        /// Enable hardware synchronization stalls.
+        stall_hardware: bool,
+    },
+}
+
+impl Mode {
+    /// The paper's bar letter (or a short label).
+    pub fn label(&self) -> String {
+        match self {
+            Mode::Seq => "SEQ".into(),
+            Mode::Unsync => "U".into(),
+            Mode::OracleAll => "O".into(),
+            Mode::Threshold(p) => format!("O>{p}%"),
+            Mode::CompilerTrain => "T".into(),
+            Mode::CompilerRef => "C".into(),
+            Mode::PerfectSync => "E".into(),
+            Mode::LateSync => "L".into(),
+            Mode::HwPredict => "P".into(),
+            Mode::HwSync => "H".into(),
+            Mode::Hybrid => "B".into(),
+            Mode::HybridFiltered => "B+".into(),
+            Mode::Marking {
+                stall_compiler,
+                stall_hardware,
+            } => match (stall_compiler, stall_hardware) {
+                (false, false) => "mark-U".into(),
+                (true, false) => "mark-C".into(),
+                (false, true) => "mark-H".into(),
+                (true, true) => "mark-B".into(),
+            },
+        }
+    }
+}
+
+/// Why a harness step failed.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Compilation (including profiling runs) failed.
+    Compile(CompileError),
+    /// A simulation failed.
+    Sim(SimError),
+    /// Oracle recording failed.
+    Oracle(ExecError),
+    /// A TLS run produced output different from sequential execution.
+    WrongOutput {
+        /// Workload name.
+        workload: String,
+        /// Mode label.
+        mode: String,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Compile(e) => write!(f, "compilation failed: {e}"),
+            ExperimentError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ExperimentError::Oracle(e) => write!(f, "oracle recording failed: {e}"),
+            ExperimentError::WrongOutput { workload, mode } => {
+                write!(f, "{workload}/{mode}: TLS output diverged from sequential")
+            }
+        }
+    }
+}
+
+impl Error for ExperimentError {}
+
+impl From<CompileError> for ExperimentError {
+    fn from(e: CompileError) -> Self {
+        ExperimentError::Compile(e)
+    }
+}
+
+impl From<SimError> for ExperimentError {
+    fn from(e: SimError) -> Self {
+        ExperimentError::Sim(e)
+    }
+}
+
+impl From<ExecError> for ExperimentError {
+    fn from(e: ExecError) -> Self {
+        ExperimentError::Oracle(e)
+    }
+}
+
+/// One workload, compiled and ready to run under any [`Mode`].
+pub struct Harness {
+    /// The workload.
+    pub workload: Workload,
+    /// Compilation with the measurement-input profile (`C`).
+    pub set_c: CompilationSet,
+    /// Compilation with the train-input profile (`T`).
+    pub set_t: CompilationSet,
+    /// Sequential baseline result (region and program times).
+    pub seq: SimResult,
+    oracle_u: ValueOracle,
+    oracle_c: ValueOracle,
+}
+
+impl Harness {
+    /// Compile `workload` at `scale` and run the sequential baseline.
+    ///
+    /// # Errors
+    /// Propagates compilation, oracle and simulation failures.
+    pub fn new(workload: Workload, scale: Scale) -> Result<Self, ExperimentError> {
+        Self::with_options(workload, scale, &CompileOptions::default())
+    }
+
+    /// Like [`Harness::new`] with custom compiler options (used by the
+    /// ablation benches).
+    pub fn with_options(
+        workload: Workload,
+        scale: Scale,
+        opts: &CompileOptions,
+    ) -> Result<Self, ExperimentError> {
+        let measure = match scale {
+            Scale::Quick => workload.module(InputSet::Train),
+            Scale::Full => workload.module(InputSet::Ref),
+        };
+        let train = workload.module(InputSet::Train);
+        let set_c = compile_all(&measure, &measure, opts)?;
+        let set_t = compile_all(&measure, &train, opts)?;
+        let oracle_u = record_oracle(&set_c.unsync)?;
+        let oracle_c = record_oracle(&set_c.synced)?;
+        let seq = Machine::new(&set_c.seq, SimConfig::sequential()).run()?;
+        Ok(Self {
+            workload,
+            set_c,
+            set_t,
+            seq,
+            oracle_u,
+            oracle_c,
+        })
+    }
+
+    /// Execute one mode and verify output correctness against sequential.
+    ///
+    /// # Errors
+    /// Propagates simulation failures; returns
+    /// [`ExperimentError::WrongOutput`] if the TLS output diverges.
+    pub fn run(&self, mode: Mode) -> Result<SimResult, ExperimentError> {
+        let base = SimConfig::cgo2004();
+        let result = match mode {
+            Mode::Seq => Machine::new(&self.set_c.seq, SimConfig::sequential()).run()?,
+            Mode::Unsync => Machine::new(&self.set_c.unsync, base).run()?,
+            Mode::OracleAll => {
+                let cfg = SimConfig {
+                    oracle_sel: OracleSel::AllLoads,
+                    ..base
+                };
+                Machine::with_oracle(&self.set_c.unsync, cfg, &self.oracle_u).run()?
+            }
+            Mode::Threshold(p) => {
+                let loads = loads_above_threshold(
+                    &self.set_c.dep_profile,
+                    &self.set_c.regions,
+                    p as f64 / 100.0,
+                );
+                let cfg = SimConfig {
+                    oracle_sel: OracleSel::Sids(loads),
+                    ..base
+                };
+                Machine::with_oracle(&self.set_c.unsync, cfg, &self.oracle_u).run()?
+            }
+            Mode::CompilerTrain => Machine::new(&self.set_t.synced, base).run()?,
+            Mode::CompilerRef => Machine::new(&self.set_c.synced, base).run()?,
+            Mode::PerfectSync => {
+                let cfg = SimConfig {
+                    sync_load_policy: SyncLoadPolicy::Oracle,
+                    ..base
+                };
+                Machine::with_oracle(&self.set_c.synced, cfg, &self.oracle_c).run()?
+            }
+            Mode::LateSync => {
+                let cfg = SimConfig {
+                    sync_load_policy: SyncLoadPolicy::StallTillOldest,
+                    ..base
+                };
+                Machine::new(&self.set_c.synced, cfg).run()?
+            }
+            Mode::HwPredict => {
+                let cfg = SimConfig {
+                    hw_predict: true,
+                    ..base
+                };
+                Machine::new(&self.set_c.unsync, cfg).run()?
+            }
+            Mode::HwSync => {
+                let cfg = SimConfig {
+                    hw_sync: true,
+                    ..base
+                };
+                Machine::new(&self.set_c.unsync, cfg).run()?
+            }
+            Mode::Hybrid => {
+                let cfg = SimConfig {
+                    hw_sync: true,
+                    ..base
+                };
+                Machine::new(&self.set_c.synced, cfg).run()?
+            }
+            Mode::HybridFiltered => {
+                let cfg = SimConfig {
+                    hw_sync: true,
+                    hybrid_filter: true,
+                    ..base
+                };
+                Machine::new(&self.set_c.synced, cfg).run()?
+            }
+            Mode::Marking {
+                stall_compiler,
+                stall_hardware,
+            } => {
+                let marked: HashSet<tls_ir::Sid> = self.set_c.marked_loads.clone();
+                let cfg = SimConfig {
+                    mark_compiler: marked.clone(),
+                    stall_marked: stall_compiler.then_some(marked),
+                    hw_sync: stall_hardware,
+                    ..base
+                };
+                Machine::new(&self.set_c.unsync, cfg).run()?
+            }
+        };
+        if result.output != self.seq.output {
+            return Err(ExperimentError::WrongOutput {
+                workload: self.workload.name.to_string(),
+                mode: mode.label(),
+            });
+        }
+        Ok(result)
+    }
+
+    /// Build the normalized region bar for a mode's result (Figures 2, 6,
+    /// 8, 9, 10 style).
+    pub fn bar(&self, mode: Mode, result: &SimResult) -> RegionBar {
+        let seq_cycles = self.seq.region_cycles().max(1);
+        let run_cycles = result.region_cycles().max(1);
+        let norm = run_cycles as f64 / seq_cycles as f64 * 100.0;
+        let mut slots = tls_sim::SlotBreakdown::default();
+        for r in result.regions.values() {
+            slots.add(&r.slots);
+        }
+        let total = slots.total().max(1) as f64;
+        RegionBar {
+            label: mode.label(),
+            norm_time: norm,
+            busy: norm * slots.busy as f64 / total,
+            fail: norm * slots.fail as f64 / total,
+            sync: norm * slots.sync as f64 / total,
+            other: norm * slots.other as f64 / total,
+            violations: result.total_violations,
+        }
+    }
+
+    /// Program-level statistics for a result (Figure 12 / Table 2).
+    pub fn program_stats(&self, mode: Mode, result: &SimResult) -> ProgramStats {
+        let seq_total = self.seq.total_cycles.max(1) as f64;
+        let seq_region = self.seq.region_cycles().max(1) as f64;
+        let seq_seq = self.seq.sequential_cycles.max(1) as f64;
+        ProgramStats {
+            label: mode.label(),
+            coverage: seq_region / seq_total,
+            region_speedup: seq_region / result.region_cycles().max(1) as f64,
+            sequential_speedup: seq_seq / result.sequential_cycles.max(1) as f64,
+            program_speedup: seq_total / result.total_cycles.max(1) as f64,
+        }
+    }
+}
+
+/// One normalized stacked bar (region execution time, sequential = 100).
+#[derive(Clone, Debug)]
+pub struct RegionBar {
+    /// Mode letter.
+    pub label: String,
+    /// Total normalized height (< 100 means speedup over sequential).
+    pub norm_time: f64,
+    /// Graduated-instruction share of the bar.
+    pub busy: f64,
+    /// Failed-speculation share.
+    pub fail: f64,
+    /// Synchronization-stall share.
+    pub sync: f64,
+    /// Everything else.
+    pub other: f64,
+    /// Squashed epoch attempts during the run.
+    pub violations: u64,
+}
+
+/// Program-level numbers (Table 2 row fragment).
+#[derive(Clone, Debug)]
+pub struct ProgramStats {
+    /// Mode letter.
+    pub label: String,
+    /// Fraction of sequential execution inside the parallelized regions.
+    pub coverage: f64,
+    /// Speedup of the parallel regions relative to sequential.
+    pub region_speedup: f64,
+    /// Speedup (≈ 1.0 ideally) of the sequential portion.
+    pub sequential_speedup: f64,
+    /// Whole-program speedup.
+    pub program_speedup: f64,
+}

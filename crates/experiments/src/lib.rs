@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Experiment harness reproducing the CGO 2004 evaluation.
+//!
+//! The paper's bar letters map onto [`Mode`]s:
+//!
+//! | letter | meaning | here |
+//! |---|---|---|
+//! | `U` | TLS with scalar sync only (baseline) | [`Mode::Unsync`] |
+//! | `O` | perfect prediction of every memory load | [`Mode::OracleAll`] |
+//! | `T` | compiler memory sync, profiled on *train* | [`Mode::CompilerTrain`] |
+//! | `C` | compiler memory sync, profiled on *ref* | [`Mode::CompilerRef`] |
+//! | `E` | synchronized values perfectly predicted | [`Mode::PerfectSync`] |
+//! | `L` | synchronized loads stall till previous epoch completes | [`Mode::LateSync`] |
+//! | `P` | hardware value prediction | [`Mode::HwPredict`] |
+//! | `H` | hardware-inserted synchronization | [`Mode::HwSync`] |
+//! | `B` | compiler + hardware hybrid | [`Mode::Hybrid`] |
+//!
+//! [`Harness::new`] compiles a workload once (both profile inputs), records
+//! the value oracles, and runs the sequential baseline; [`Harness::run`]
+//! then executes any mode, asserting that its observable output matches
+//! sequential execution — the TLS correctness invariant — before returning
+//! the [`tls_sim::SimResult`].
+//!
+//! The [`figures`] module renders each of the paper's tables and figures
+//! from these runs; the `repro` binary drives it from the command line.
+
+pub mod figures;
+mod harness;
+mod report;
+
+pub use harness::{ExperimentError, Harness, Mode, ProgramStats, RegionBar, Scale};
+pub use report::Table;

@@ -1,0 +1,550 @@
+//! Instructions, operands and terminators.
+
+use crate::ids::{BlockId, ChanId, FuncId, GlobalId, GroupId, Sid, Var};
+
+/// A value read by an instruction: a register, an immediate, or the address
+/// of a module global (resolved to a word address when the module is loaded).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// Read a virtual register.
+    Var(Var),
+    /// A 64-bit immediate.
+    Const(i64),
+    /// The base word address of a global.
+    Global(GlobalId),
+}
+
+impl From<Var> for Operand {
+    fn from(v: Var) -> Self {
+        Operand::Var(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(c: i64) -> Self {
+        Operand::Const(c)
+    }
+}
+
+impl From<GlobalId> for Operand {
+    fn from(g: GlobalId) -> Self {
+        Operand::Global(g)
+    }
+}
+
+/// Binary ALU operations. Comparison operators produce `0` or `1`.
+///
+/// Arithmetic wraps; `Div`/`Rem` by zero yield `0` (the IR has no traps);
+/// shift amounts are masked to `0..64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division; division by zero yields 0.
+    Div,
+    /// Signed remainder; remainder by zero yields 0.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Left shift (amount masked to 0..64).
+    Shl,
+    /// Logical right shift (amount masked to 0..64).
+    Shr,
+    /// Equality; yields 0 or 1.
+    Eq,
+    /// Inequality; yields 0 or 1.
+    Ne,
+    /// Signed less-than; yields 0 or 1.
+    Lt,
+    /// Signed less-or-equal; yields 0 or 1.
+    Le,
+    /// Signed greater-than; yields 0 or 1.
+    Gt,
+    /// Signed greater-or-equal; yields 0 or 1.
+    Ge,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+}
+
+impl BinOp {
+    /// Evaluate the operation on two values.
+    ///
+    /// Total: division and remainder by zero are defined as `0`, shifts mask
+    /// their amount, arithmetic wraps.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    0
+                } else {
+                    a % b
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+            BinOp::Shr => (a as u64).wrapping_shr(b as u32 & 63) as i64,
+            BinOp::Eq => (a == b) as i64,
+            BinOp::Ne => (a != b) as i64,
+            BinOp::Lt => (a < b) as i64,
+            BinOp::Le => (a <= b) as i64,
+            BinOp::Gt => (a > b) as i64,
+            BinOp::Ge => (a >= b) as i64,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+
+    /// Mnemonic used by the pretty-printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::Gt => "gt",
+            BinOp::Ge => "ge",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+/// One IR instruction.
+///
+/// Memory accesses compute their word address as `addr + off` where `addr`
+/// is an operand and `off` an immediate word offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Instr {
+    /// `dst = src`.
+    Assign {
+        /// Destination register.
+        dst: Var,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = op(a, b)`.
+    Bin {
+        /// Destination register.
+        dst: Var,
+        /// The operation.
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = mem[addr + off]`.
+    Load {
+        /// Destination register.
+        dst: Var,
+        /// Base word address.
+        addr: Operand,
+        /// Constant word offset.
+        off: i64,
+        /// Static instruction id.
+        sid: Sid,
+    },
+    /// `mem[addr + off] = val`.
+    Store {
+        /// Value to store.
+        val: Operand,
+        /// Base word address.
+        addr: Operand,
+        /// Constant word offset.
+        off: i64,
+        /// Static instruction id.
+        sid: Sid,
+    },
+    /// Call `func(args...)`, placing the returned value (or `0` for a
+    /// procedure that falls off a `ret` without value) in `dst` if present.
+    Call {
+        /// Register receiving the return value, if any.
+        dst: Option<Var>,
+        /// The called function.
+        func: FuncId,
+        /// Argument operands, one per parameter.
+        args: Vec<Operand>,
+        /// Static instruction id of the call site.
+        sid: Sid,
+    },
+    /// Append `val` to the program's observable output stream. Under TLS the
+    /// output of a speculative epoch is buffered and emitted at commit, so
+    /// the stream is identical to sequential execution — this is the
+    /// correctness oracle used by the test suite.
+    Output {
+        /// The value to emit.
+        val: Operand,
+    },
+    /// `dst =` the index of the current epoch within its region instance
+    /// (`0, 1, 2, ...`); `0` outside any speculative region. Used by the
+    /// compiler to privatize induction variables.
+    EpochId {
+        /// Destination register.
+        dst: Var,
+    },
+    /// Stall until the previous epoch signals scalar channel `chan`, then
+    /// `dst =` the forwarded value. The first epoch of a region instance
+    /// receives the value the channel's variable had at region entry.
+    WaitScalar {
+        /// Destination register.
+        dst: Var,
+        /// The scalar channel to wait on.
+        chan: ChanId,
+    },
+    /// Forward `val` on scalar channel `chan` to the successor epoch.
+    SignalScalar {
+        /// The scalar channel to signal.
+        chan: ChanId,
+        /// The forwarded value.
+        val: Operand,
+    },
+    /// The consumer half of memory-resident forwarding (§2.2): stall until
+    /// the previous epoch signals group `group`; if the forwarded address
+    /// equals `addr + off` and this epoch has not overwritten that word,
+    /// use the forwarded value (setting `use_forwarded_value`, which
+    /// exempts the access from violation tracking); otherwise perform an
+    /// ordinary load.
+    SyncLoad {
+        /// Destination register.
+        dst: Var,
+        /// Base word address.
+        addr: Operand,
+        /// Constant word offset.
+        off: i64,
+        /// The synchronization group whose signal is consumed.
+        group: GroupId,
+        /// Static instruction id.
+        sid: Sid,
+    },
+    /// The producer half: forward `(addr + off, val)` on `group` to the
+    /// successor epoch and record the address in the signal address buffer
+    /// so a later store to it in this epoch violates the consumer. Does
+    /// *not* itself store to memory — it always follows a real `Store`.
+    SignalMem {
+        /// The synchronization group being signalled.
+        group: GroupId,
+        /// Base word address of the forwarded location.
+        addr: Operand,
+        /// Constant word offset.
+        off: i64,
+        /// The forwarded value.
+        val: Operand,
+        /// Static instruction id.
+        sid: Sid,
+    },
+    /// Forward a `NULL` address on `group`: taken on paths through the epoch
+    /// that never produce the value, so the consumer does not wait forever.
+    SignalMemNull {
+        /// The synchronization group being signalled.
+        group: GroupId,
+    },
+}
+
+impl Instr {
+    /// The register this instruction writes, if any.
+    pub fn def(&self) -> Option<Var> {
+        match self {
+            Instr::Assign { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Load { dst, .. }
+            | Instr::EpochId { dst }
+            | Instr::WaitScalar { dst, .. }
+            | Instr::SyncLoad { dst, .. } => Some(*dst),
+            Instr::Call { dst, .. } => *dst,
+            Instr::Store { .. }
+            | Instr::Output { .. }
+            | Instr::SignalScalar { .. }
+            | Instr::SignalMem { .. }
+            | Instr::SignalMemNull { .. } => None,
+        }
+    }
+
+    /// Visit every operand this instruction reads.
+    pub fn visit_operands(&self, mut f: impl FnMut(&Operand)) {
+        match self {
+            Instr::Assign { src, .. } => f(src),
+            Instr::Bin { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            Instr::Load { addr, .. } => f(addr),
+            Instr::Store { val, addr, .. } => {
+                f(val);
+                f(addr);
+            }
+            Instr::Call { args, .. } => args.iter().for_each(f),
+            Instr::Output { val } => f(val),
+            Instr::EpochId { .. } => {}
+            Instr::WaitScalar { .. } => {}
+            Instr::SignalScalar { val, .. } => f(val),
+            Instr::SyncLoad { addr, .. } => f(addr),
+            Instr::SignalMem { addr, val, .. } => {
+                f(addr);
+                f(val);
+            }
+            Instr::SignalMemNull { .. } => {}
+        }
+    }
+
+    /// Visit every operand mutably (used by cloning and rewriting passes).
+    pub fn visit_operands_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
+        match self {
+            Instr::Assign { src, .. } => f(src),
+            Instr::Bin { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            Instr::Load { addr, .. } => f(addr),
+            Instr::Store { val, addr, .. } => {
+                f(val);
+                f(addr);
+            }
+            Instr::Call { args, .. } => args.iter_mut().for_each(f),
+            Instr::Output { val } => f(val),
+            Instr::EpochId { .. } => {}
+            Instr::WaitScalar { .. } => {}
+            Instr::SignalScalar { val, .. } => f(val),
+            Instr::SyncLoad { addr, .. } => f(addr),
+            Instr::SignalMem { addr, val, .. } => {
+                f(addr);
+                f(val);
+            }
+            Instr::SignalMemNull { .. } => {}
+        }
+    }
+
+    /// The registers this instruction reads.
+    pub fn uses(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.visit_operands(|op| {
+            if let Operand::Var(v) = op {
+                out.push(*v);
+            }
+        });
+        out
+    }
+
+    /// The static-instruction id of a memory access or call site.
+    pub fn sid(&self) -> Option<Sid> {
+        match self {
+            Instr::Load { sid, .. }
+            | Instr::Store { sid, .. }
+            | Instr::Call { sid, .. }
+            | Instr::SyncLoad { sid, .. }
+            | Instr::SignalMem { sid, .. } => Some(*sid),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the static-instruction id, for re-numbering clones.
+    pub fn sid_mut(&mut self) -> Option<&mut Sid> {
+        match self {
+            Instr::Load { sid, .. }
+            | Instr::Store { sid, .. }
+            | Instr::Call { sid, .. }
+            | Instr::SyncLoad { sid, .. }
+            | Instr::SignalMem { sid, .. } => Some(sid),
+            _ => None,
+        }
+    }
+
+    /// True for instructions that read memory (`Load` and `SyncLoad`).
+    pub fn is_mem_read(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::SyncLoad { .. })
+    }
+
+    /// True for instructions that write memory (`Store`).
+    pub fn is_mem_write(&self) -> bool {
+        matches!(self, Instr::Store { .. })
+    }
+}
+
+/// Block terminator. Branch conditions treat any non-zero value as true.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// `if cond != 0 goto t else goto f`.
+    Br {
+        /// Branch condition (non-zero = taken).
+        cond: Operand,
+        /// Target when taken.
+        t: BlockId,
+        /// Target when not taken.
+        f: BlockId,
+    },
+    /// Return from the function, optionally with a value.
+    Ret(Option<Operand>),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator, in branch order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Br { t, f, .. } => vec![*t, *f],
+            Terminator::Ret(_) => vec![],
+        }
+    }
+
+    /// The registers this terminator reads.
+    pub fn uses(&self) -> Vec<Var> {
+        match self {
+            Terminator::Br {
+                cond: Operand::Var(v),
+                ..
+            } => vec![*v],
+            Terminator::Ret(Some(Operand::Var(v))) => vec![*v],
+            _ => vec![],
+        }
+    }
+
+    /// Rewrite successor block ids (used when splitting edges or unrolling).
+    pub fn map_successors(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Jump(b) => *b = f(*b),
+            Terminator::Br { t, f: fb, .. } => {
+                *t = f(*t);
+                *fb = f(*fb);
+            }
+            Terminator::Ret(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_basics() {
+        assert_eq!(BinOp::Add.eval(2, 3), 5);
+        assert_eq!(BinOp::Sub.eval(2, 3), -1);
+        assert_eq!(BinOp::Mul.eval(-4, 3), -12);
+        assert_eq!(BinOp::Div.eval(7, 2), 3);
+        assert_eq!(BinOp::Rem.eval(7, 2), 1);
+        assert_eq!(BinOp::Lt.eval(1, 2), 1);
+        assert_eq!(BinOp::Ge.eval(1, 2), 0);
+        assert_eq!(BinOp::Min.eval(3, -5), -5);
+        assert_eq!(BinOp::Max.eval(3, -5), 3);
+    }
+
+    #[test]
+    fn binop_eval_is_total() {
+        assert_eq!(BinOp::Div.eval(5, 0), 0);
+        assert_eq!(BinOp::Rem.eval(5, 0), 0);
+        assert_eq!(BinOp::Div.eval(i64::MIN, -1), 0);
+        assert_eq!(BinOp::Rem.eval(i64::MIN, -1), 0);
+        assert_eq!(BinOp::Add.eval(i64::MAX, 1), i64::MIN);
+        assert_eq!(BinOp::Shl.eval(1, 64), 1); // shift masked to 0
+        assert_eq!(BinOp::Shr.eval(-1, 1), i64::MAX); // logical shift
+    }
+
+    #[test]
+    fn def_and_uses_cover_all_instructions() {
+        let ld = Instr::Load {
+            dst: Var(1),
+            addr: Operand::Var(Var(2)),
+            off: 4,
+            sid: Sid(0),
+        };
+        assert_eq!(ld.def(), Some(Var(1)));
+        assert_eq!(ld.uses(), vec![Var(2)]);
+        assert!(ld.is_mem_read());
+        assert!(!ld.is_mem_write());
+
+        let st = Instr::Store {
+            val: Operand::Var(Var(3)),
+            addr: Operand::Var(Var(2)),
+            off: 0,
+            sid: Sid(1),
+        };
+        assert_eq!(st.def(), None);
+        assert_eq!(st.uses(), vec![Var(3), Var(2)]);
+        assert!(st.is_mem_write());
+
+        let call = Instr::Call {
+            dst: Some(Var(0)),
+            func: FuncId(2),
+            args: vec![Operand::Var(Var(5)), Operand::Const(1)],
+            sid: Sid(2),
+        };
+        assert_eq!(call.def(), Some(Var(0)));
+        assert_eq!(call.uses(), vec![Var(5)]);
+        assert_eq!(call.sid(), Some(Sid(2)));
+
+        let sync = Instr::SyncLoad {
+            dst: Var(7),
+            addr: Operand::Global(GlobalId(0)),
+            off: 0,
+            group: GroupId(0),
+            sid: Sid(3),
+        };
+        assert_eq!(sync.def(), Some(Var(7)));
+        assert!(sync.is_mem_read());
+        assert!(sync.uses().is_empty());
+    }
+
+    #[test]
+    fn terminator_successors_and_remap() {
+        let mut t = Terminator::Br {
+            cond: Operand::Var(Var(0)),
+            t: BlockId(1),
+            f: BlockId(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(t.uses(), vec![Var(0)]);
+        t.map_successors(|b| BlockId(b.0 + 10));
+        assert_eq!(t.successors(), vec![BlockId(11), BlockId(12)]);
+        assert!(Terminator::Ret(None).successors().is_empty());
+    }
+
+    #[test]
+    fn visit_operands_mut_rewrites() {
+        let mut i = Instr::Bin {
+            dst: Var(0),
+            op: BinOp::Add,
+            a: Operand::Var(Var(1)),
+            b: Operand::Const(3),
+        };
+        i.visit_operands_mut(|op| {
+            if let Operand::Var(v) = op {
+                *op = Operand::Var(Var(v.0 + 100));
+            }
+        });
+        assert_eq!(i.uses(), vec![Var(101)]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the IR layer: total evaluation, id allocation, and
+//! builder/validator agreement.
+
+use proptest::prelude::*;
+use tls_ir::{line_of, line_offset, BinOp, ModuleBuilder, Operand, LINE_WORDS};
+
+fn any_binop() -> impl Strategy<Value = BinOp> {
+    prop::sample::select(vec![
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+        BinOp::Min,
+        BinOp::Max,
+    ])
+}
+
+proptest! {
+    /// Every operation is total (never panics) and comparisons return 0/1.
+    #[test]
+    fn binop_eval_is_total(op in any_binop(), a in any::<i64>(), b in any::<i64>()) {
+        let r = op.eval(a, b);
+        if matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
+            prop_assert!(r == 0 || r == 1);
+        }
+    }
+
+    /// Line arithmetic round-trips for arbitrary addresses.
+    #[test]
+    fn line_math_round_trips(addr in any::<i64>()) {
+        let off = line_offset(addr);
+        prop_assert!((0..LINE_WORDS).contains(&off));
+        // Avoid overflow at the extremes of the address space.
+        if addr.checked_mul(1).is_some() && line_of(addr).checked_mul(LINE_WORDS).is_some() {
+            prop_assert_eq!(line_of(addr) * LINE_WORDS + off, addr);
+        }
+    }
+
+    /// Builder-produced modules always validate, interpret deterministically,
+    /// and allocate dense, unique sids.
+    #[test]
+    fn built_chains_validate_and_run(consts in prop::collection::vec(any::<i16>(), 1..40)) {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("g", consts.len() as u64, vec![]);
+        let f = mb.declare("main", 0);
+        let mut fb = mb.define(f);
+        let (v, p) = (fb.var("v"), fb.var("p"));
+        fb.assign(v, 1);
+        for (i, &c) in consts.iter().enumerate() {
+            fb.bin(v, BinOp::Add, v, c as i64);
+            fb.bin(p, BinOp::Add, g, i as i64);
+            fb.store(v, p, 0);
+        }
+        let mut sum_expected: i64 = 0;
+        let mut acc: i64 = 1;
+        for &c in &consts {
+            acc = acc.wrapping_add(c as i64);
+            sum_expected = sum_expected.wrapping_add(acc);
+        }
+        let s = fb.var("s");
+        let t = fb.var("t");
+        fb.assign(s, 0);
+        for i in 0..consts.len() {
+            fb.bin(p, BinOp::Add, g, i as i64);
+            fb.load(t, p, 0);
+            fb.bin(s, BinOp::Add, s, t);
+        }
+        fb.output(s);
+        fb.ret(Some(Operand::Var(s)));
+        fb.finish();
+        mb.set_entry(f);
+        let m = mb.build().expect("builder output validates");
+        prop_assert_eq!(m.next_sid as usize, consts.len() * 2);
+        let r = tls_profile::run_sequential(&m).expect("runs");
+        prop_assert_eq!(r.output, vec![sum_expected]);
+        prop_assert_eq!(r.ret, sum_expected);
+    }
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! Sequential execution and profiling for the CGO 2004 TLS reproduction.
+//!
+//! This crate plays the role of the paper's software-only,
+//! instrumentation-based profiling tool (§1.1, §2.3): it executes a program
+//! sequentially, records every access to memory, and matches each dependent
+//! load with the store that produced its value — context-sensitively (keyed
+//! by static instruction id plus the call stack rooted at the enclosing
+//! loop) and flow-insensitively, exactly as the paper describes.
+//!
+//! Contents:
+//!
+//! * [`Memory`] — the flat, word-addressed memory shared with the simulator;
+//! * [`Interp`] — the sequential IR interpreter with an [`ExecObserver`]
+//!   hook, used for the profiler, the oracle recorder, and as the
+//!   correctness reference for TLS execution;
+//! * [`DepProfiler`] — per-loop inter-iteration dependence edges with
+//!   frequencies and distances, plus loop coverage / trip-count / epoch-size
+//!   statistics for region selection (§3.1);
+//! * [`OracleRecorder`] — the per-epoch sequence of values each load reads
+//!   under sequential execution, which the simulator's "perfect value
+//!   prediction" modes (`O`, `E`, and the Figure 6 threshold study) replay.
+
+mod depprof;
+mod interp;
+mod memory;
+mod oracle;
+
+pub use depprof::{
+    profile_module, CtxId, DepEdge, DepProfile, DepProfiler, LoopKey, LoopProfile, VertexKey,
+    DIST_BUCKETS,
+};
+pub use interp::{
+    ExecError, ExecObserver, ExecResult, Interp, InterpConfig, LoopInstance, LoopMeta, LoopUid,
+    NullObserver, TraceState,
+};
+pub use memory::Memory;
+pub use oracle::{record_oracle, OracleKey, OracleRecorder, ValueOracle};
+
+/// Run `module` sequentially with no observer and default limits.
+///
+/// Convenience wrapper used by tests and examples.
+///
+/// # Errors
+/// Propagates any [`ExecError`] (step limit, call depth).
+///
+/// # Examples
+///
+/// ```
+/// use tls_ir::{BinOp, ModuleBuilder};
+///
+/// let mut mb = ModuleBuilder::new();
+/// let g = mb.add_global("g", 1, vec![40]);
+/// let main = mb.declare("main", 0);
+/// let mut fb = mb.define(main);
+/// let v = fb.var("v");
+/// fb.load(v, g, 0);
+/// fb.bin(v, BinOp::Add, v, 2);
+/// fb.output(v);
+/// fb.ret(None);
+/// fb.finish();
+/// mb.set_entry(main);
+/// let module = mb.build().expect("valid");
+///
+/// let result = tls_profile::run_sequential(&module).expect("runs");
+/// assert_eq!(result.output, vec![42]);
+/// ```
+pub fn run_sequential(module: &tls_ir::Module) -> Result<ExecResult, ExecError> {
+    let mut interp = Interp::new(module, InterpConfig::default());
+    interp.run(&mut NullObserver)
+}

@@ -1,0 +1,104 @@
+//! Flat, word-addressed, paged memory.
+
+use std::collections::HashMap;
+
+const PAGE_WORDS: usize = 1024;
+
+/// A sparse 64-bit word-addressed memory. Unwritten words read as zero.
+///
+/// Shared between the sequential interpreter and the simulator's committed
+/// architectural state.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<i64, Box<[i64; PAGE_WORDS]>>,
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A memory initialized with a module's globals.
+    pub fn with_globals(module: &tls_ir::Module) -> Self {
+        let mut mem = Self::new();
+        for g in &module.globals {
+            for (i, &v) in g.init.iter().enumerate() {
+                mem.write(g.addr + i as i64, v);
+            }
+        }
+        mem
+    }
+
+    #[inline]
+    fn split(addr: i64) -> (i64, usize) {
+        (
+            addr.div_euclid(PAGE_WORDS as i64),
+            addr.rem_euclid(PAGE_WORDS as i64) as usize,
+        )
+    }
+
+    /// Read the word at `addr` (zero if never written).
+    #[inline]
+    pub fn read(&self, addr: i64) -> i64 {
+        let (p, o) = Self::split(addr);
+        self.pages.get(&p).map_or(0, |page| page[o])
+    }
+
+    /// Write `val` at `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: i64, val: i64) {
+        let (p, o) = Self::split(addr);
+        self.pages
+            .entry(p)
+            .or_insert_with(|| Box::new([0; PAGE_WORDS]))[o] = val;
+    }
+
+    /// Number of resident pages (diagnostics only).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.read(1 << 40), 0);
+        assert_eq!(m.read(-5), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip_across_pages() {
+        let mut m = Memory::new();
+        for addr in [0i64, 1, 1023, 1024, 1025, -1, -1024, 1 << 30] {
+            m.write(addr, addr.wrapping_mul(7) + 1);
+        }
+        for addr in [0i64, 1, 1023, 1024, 1025, -1, -1024, 1 << 30] {
+            assert_eq!(m.read(addr), addr.wrapping_mul(7) + 1, "addr {addr}");
+        }
+        assert_eq!(m.read(2), 0);
+    }
+
+    #[test]
+    fn with_globals_loads_initializers() {
+        let mut mb = tls_ir::ModuleBuilder::new();
+        let g = mb.add_global("tbl", 6, vec![9, 8, 7]);
+        let f = mb.declare("main", 0);
+        let mut fb = mb.define(f);
+        fb.ret(None);
+        fb.finish();
+        mb.set_entry(f);
+        let m = mb.build().expect("valid");
+        let mem = Memory::with_globals(&m);
+        let base = m.global(g).addr;
+        assert_eq!(mem.read(base), 9);
+        assert_eq!(mem.read(base + 2), 7);
+        assert_eq!(mem.read(base + 3), 0); // zero-padded tail
+    }
+}

@@ -1,0 +1,191 @@
+//! Set-associative cache latency model.
+//!
+//! Models hit/miss timing only: private per-core L1 data caches backed by a
+//! shared unified L2, backed by memory (Table 1). Speculative state is held
+//! separately (see `spec`); this model answers "how long does this access
+//! take" and tracks tag-array contents with LRU replacement.
+
+use tls_ir::line_of;
+
+use crate::config::SimConfig;
+
+/// One set-associative tag array with LRU replacement.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    /// `sets × ways` tags; `None` = invalid.
+    tags: Vec<Option<i64>>,
+    /// Per-entry LRU stamps.
+    stamps: Vec<u64>,
+    sets: usize,
+    ways: usize,
+    clock: u64,
+}
+
+impl SetAssocCache {
+    /// A cache with `lines` total lines and `ways` associativity.
+    ///
+    /// # Panics
+    /// Panics if `ways` is zero or does not divide `lines`.
+    pub fn new(lines: usize, ways: usize) -> Self {
+        assert!(ways > 0 && lines.is_multiple_of(ways), "lines must split into ways");
+        let sets = lines / ways;
+        Self {
+            tags: vec![None; lines],
+            stamps: vec![0; lines],
+            sets,
+            ways,
+            clock: 0,
+        }
+    }
+
+    fn set_of(&self, line: i64) -> usize {
+        (line.rem_euclid(self.sets as i64)) as usize
+    }
+
+    /// Access `line`: returns true on hit. Misses install the line,
+    /// evicting the LRU way.
+    pub fn access(&mut self, line: i64) -> bool {
+        self.clock += 1;
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.tags[base + w] == Some(line) {
+                self.stamps[base + w] = self.clock;
+                return true;
+            }
+        }
+        // Miss: evict LRU.
+        let victim = (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("ways > 0");
+        self.tags[base + victim] = Some(line);
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Is `line` present (no state change)?
+    pub fn probe(&self, line: i64) -> bool {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        (0..self.ways).any(|w| self.tags[base + w] == Some(line))
+    }
+
+    /// Invalidate `line` if present.
+    pub fn invalidate(&mut self, line: i64) {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.tags[base + w] == Some(line) {
+                self.tags[base + w] = None;
+            }
+        }
+    }
+}
+
+/// The memory hierarchy: per-core L1s over a shared L2.
+#[derive(Clone, Debug)]
+pub struct MemSystem {
+    l1: Vec<SetAssocCache>,
+    l2: SetAssocCache,
+    l1_lat: u64,
+    l2_lat: u64,
+    mem_lat: u64,
+}
+
+impl MemSystem {
+    /// Build the hierarchy described by `config`.
+    pub fn new(config: &SimConfig) -> Self {
+        Self {
+            l1: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l1_lines, config.l1_ways))
+                .collect(),
+            l2: SetAssocCache::new(config.l2_lines, config.l2_ways),
+            l1_lat: config.l1_lat,
+            l2_lat: config.l2_lat,
+            mem_lat: config.mem_lat,
+        }
+    }
+
+    /// Latency of core `core` accessing the word at `addr`; fills caches on
+    /// the way.
+    pub fn access(&mut self, core: usize, addr: i64) -> u64 {
+        let line = line_of(addr);
+        if self.l1[core].access(line) {
+            self.l1_lat
+        } else if self.l2.access(line) {
+            self.l2_lat
+        } else {
+            self.mem_lat
+        }
+    }
+
+    /// Install a line into a core's L1 and the L2 (used when commits write
+    /// back speculative lines).
+    pub fn install(&mut self, core: usize, addr: i64) {
+        let line = line_of(addr);
+        self.l1[core].access(line);
+        self.l2.access(line);
+    }
+
+    /// Invalidate a line in every *other* core's L1 (commit-time coherence).
+    pub fn invalidate_others(&mut self, core: usize, addr: i64) {
+        let line = line_of(addr);
+        for (c, l1) in self.l1.iter_mut().enumerate() {
+            if c != core {
+                l1.invalidate(line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_replacement_within_a_set() {
+        // 4 lines, 2 ways → 2 sets. Lines 0, 2, 4 all map to set 0.
+        let mut c = SetAssocCache::new(4, 2);
+        assert!(!c.access(0));
+        assert!(!c.access(2));
+        assert!(c.access(0)); // hit, refreshes 0
+        assert!(!c.access(4)); // evicts LRU = 2
+        assert!(c.access(0));
+        assert!(!c.access(2)); // 2 was evicted
+        assert!(c.probe(2));
+        assert!(!c.probe(6));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.access(1);
+        assert!(c.probe(1));
+        c.invalidate(1);
+        assert!(!c.probe(1));
+        assert!(!c.access(1)); // miss again
+    }
+
+    #[test]
+    fn hierarchy_latencies_escalate() {
+        let cfg = SimConfig::cgo2004();
+        let mut m = MemSystem::new(&cfg);
+        // Cold: full memory latency.
+        assert_eq!(m.access(0, 1000), cfg.mem_lat);
+        // Warm in L1.
+        assert_eq!(m.access(0, 1000), cfg.l1_lat);
+        // Same line, different word: still the same line → L1 hit.
+        assert_eq!(m.access(0, 1001), cfg.l1_lat);
+        // Another core misses its L1 but hits shared L2.
+        assert_eq!(m.access(1, 1000), cfg.l2_lat);
+        // Invalidation forces the other core back to L2.
+        m.invalidate_others(1, 1000);
+        assert_eq!(m.access(0, 1000), cfg.l2_lat);
+    }
+
+    #[test]
+    #[should_panic(expected = "lines must split into ways")]
+    fn bad_geometry_panics() {
+        let _ = SetAssocCache::new(5, 2);
+    }
+}

@@ -1,0 +1,1964 @@
+//! The TLS chip-multiprocessor execution engine.
+//!
+//! The machine interprets a module with the per-core timing model of
+//! [`crate::timing`]: code outside speculative regions runs on one core;
+//! reaching a region header switches to *parallel mode*, where each loop
+//! iteration becomes an epoch running on one of the cores
+//! (epoch *k* on core *k* mod `cores`). Epochs buffer stores speculatively,
+//! track exposed loads at cache-line granularity, communicate through
+//! compiler-inserted wait/signal (scalar channels and memory groups with the
+//! signal address buffer of §2.2), and are squashed and restarted — together
+//! with all logically-later epochs — whenever an inter-epoch dependence is
+//! violated. Commits happen in epoch order via a homefree token.
+//!
+//! Violation detection is two-sided, mirroring invalidation-based TLS
+//! coherence:
+//!
+//! * *eager*: a store by epoch *e* squashes any later active epoch whose
+//!   read set contains the stored line (false sharing included);
+//! * *commit-time*: a load that reads committed memory while an earlier
+//!   active epoch holds an uncommitted store to the same line registers a
+//!   pending violation that fires when that epoch commits.
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use tls_ir::{
+    line_of, BinOp, BlockId, FuncId, GroupId, Instr, Module, Operand, RegionId, Sid, Terminator,
+    Var,
+};
+use tls_profile::{Memory, OracleKey, ValueOracle};
+
+use crate::cache::MemSystem;
+use crate::config::{OracleSel, SimConfig, SyncLoadPolicy};
+use crate::hwsync::{ValuePredictor, ViolationTable};
+use crate::spec::{MemSignal, ReadSet, SyncState, WriteBuffer};
+use crate::stats::{RegionStats, SimResult, SlotBreakdown, ViolationClass};
+use crate::timing::{BranchPredictor, CoreTimer};
+
+/// Why a simulation aborted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The dynamic-instruction budget was exceeded.
+    StepLimit(u64),
+    /// The call-depth limit was exceeded.
+    CallDepth(usize),
+    /// A `ret` tried to leave the function containing an active speculative
+    /// region (region selection must reject such loops).
+    RetInRegion(String),
+    /// No epoch can make progress (indicates mis-inserted synchronization).
+    Deadlock {
+        /// Simulated time at which progress stopped.
+        time: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::StepLimit(n) => write!(f, "exceeded step limit of {n} instructions"),
+            SimError::CallDepth(n) => write!(f, "exceeded call depth of {n} frames"),
+            SimError::RetInRegion(func) => {
+                write!(f, "`{func}` returned out of an active speculative region")
+            }
+            SimError::Deadlock { time } => write!(f, "simulation deadlocked at cycle {time}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+const MAX_CALL_DEPTH: usize = 256;
+
+#[derive(Clone, Debug)]
+struct Frame {
+    func: FuncId,
+    regs: Vec<i64>,
+    ready: Vec<u64>,
+    block: BlockId,
+    idx: usize,
+    ret_to: Option<Var>,
+}
+
+impl Frame {
+    fn new(module: &Module, func: FuncId, now: u64) -> Self {
+        let f = module.func(func);
+        Self {
+            func,
+            regs: vec![0; f.num_vars],
+            ready: vec![now; f.num_vars],
+            block: f.entry(),
+            idx: 0,
+            ret_to: None,
+        }
+    }
+}
+
+/// Epoch execution status.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    Running,
+    /// Blocked on a scalar channel since the given cycle.
+    WaitScalar(tls_ir::ChanId, u64),
+    /// Blocked on a memory group since the given cycle.
+    WaitMem(GroupId, u64),
+    /// Blocked until this epoch is the oldest (hardware sync / `L` policy).
+    WaitOldest(u64),
+    /// Finished executing; waiting for the homefree token.
+    Done,
+}
+
+#[derive(Debug)]
+struct Epoch {
+    index: u64,
+    core: usize,
+    frames: Vec<Frame>,
+    timer: CoreTimer,
+    /// Issue time of the most recent instruction (scheduling key).
+    clock: u64,
+    status: Status,
+    wb: WriteBuffer,
+    reads: ReadSet,
+    sync: SyncState,
+    outputs: Vec<i64>,
+    /// (sid, addr, predicted value) to verify at commit (mode `P`).
+    predicted: Vec<(Sid, i64, i64)>,
+    /// Per-sid dynamic occurrence counters for oracle lookups.
+    occ: HashMap<Sid, u32>,
+    /// Groups whose forwarded value this epoch has already *used* in its
+    /// current attempt; a producer re-signal of such a group must restart
+    /// the epoch (signal-address-buffer semantics, §2.2).
+    consumed: std::collections::HashSet<GroupId>,
+    attempt_start: u64,
+    sync_cycles: u64,
+    /// `Some((exit_target, finish_time))` once done; `None` target = back
+    /// edge (ordinary epoch), `Some(block)` = the epoch left the loop.
+    finish: Option<(Option<BlockId>, u64)>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    producer: u64,
+    consumer: u64,
+    sid: Sid,
+}
+
+/// One squash request produced by a step.
+#[derive(Clone, Copy, Debug)]
+struct SquashReq {
+    victim: u64,
+    time: u64,
+    load_sid: Option<Sid>,
+}
+
+/// Tracks one active sequential-mode region instance (attribution only).
+#[derive(Clone, Copy, Debug)]
+struct SeqRegion {
+    rid: RegionId,
+    depth: usize,
+    start: u64,
+    iter: u64,
+}
+
+/// The simulator. Create with [`Machine::new`] (or
+/// [`Machine::with_oracle`]) and consume with [`Machine::run`].
+pub struct Machine<'m> {
+    module: &'m Module,
+    config: SimConfig,
+    oracle: Option<&'m ValueOracle>,
+    mem: Memory,
+    caches: MemSystem,
+    branch: Vec<BranchPredictor>,
+    viol_table: ViolationTable,
+    predictor: ValuePredictor,
+    chan_regs: Vec<i64>,
+    output: Vec<i64>,
+    region_headers: HashMap<(FuncId, BlockId), RegionId>,
+    region_blocks: Vec<HashSet<BlockId>>,
+    result: SimResult,
+    time: u64,
+    steps: u64,
+    region_ord: u64,
+    /// Per synchronized-load sid: (wait attempts, forwarded-value uses).
+    /// Feeds the `hybrid_filter` enhancement.
+    forward_usefulness: HashMap<Sid, (u32, u32)>,
+}
+
+impl<'m> Machine<'m> {
+    /// A machine ready to run `module` under `config`.
+    pub fn new(module: &'m Module, config: SimConfig) -> Self {
+        let region_blocks = module
+            .regions
+            .iter()
+            .map(|r| r.blocks.iter().copied().collect())
+            .collect();
+        Self {
+            mem: Memory::with_globals(module),
+            caches: MemSystem::new(&config),
+            branch: (0..config.cores)
+                .map(|_| BranchPredictor::new(config.branch_table))
+                .collect(),
+            viol_table: ViolationTable::new(config.hw_table_size, config.hw_reset_interval),
+            predictor: ValuePredictor::new(config.predictor_entries, config.predictor_threshold),
+            chan_regs: vec![0; module.next_chan as usize],
+            output: Vec::new(),
+            region_headers: module.region_headers(),
+            region_blocks,
+            result: SimResult::default(),
+            time: 0,
+            steps: 0,
+            region_ord: 0,
+            forward_usefulness: HashMap::new(),
+            oracle: None,
+            module,
+            config,
+        }
+    }
+
+    /// Like [`Machine::new`] with a value oracle for the perfect-prediction
+    /// modes (`O`, `E`, Figure 6).
+    pub fn with_oracle(module: &'m Module, config: SimConfig, oracle: &'m ValueOracle) -> Self {
+        let mut m = Self::new(module, config);
+        m.oracle = Some(oracle);
+        m
+    }
+
+    fn eval(&self, frame: &Frame, op: Operand) -> (i64, u64) {
+        match op {
+            Operand::Var(v) => (frame.regs[v.index()], frame.ready[v.index()]),
+            Operand::Const(c) => (c, 0),
+            Operand::Global(g) => (self.module.global(g).addr, 0),
+        }
+    }
+
+    fn bin_latency(&self, op: BinOp) -> u64 {
+        match op {
+            BinOp::Mul => self.config.lat_mul,
+            BinOp::Div | BinOp::Rem => self.config.lat_div,
+            _ => self.config.lat_alu,
+        }
+    }
+
+    fn bump_steps(&mut self) -> Result<(), SimError> {
+        self.steps += 1;
+        if self.steps > self.config.max_steps {
+            return Err(SimError::StepLimit(self.config.max_steps));
+        }
+        Ok(())
+    }
+
+    /// Run the program to completion.
+    ///
+    /// # Errors
+    /// See [`SimError`].
+    pub fn run(mut self) -> Result<SimResult, SimError> {
+        let entry = self.module.func(self.module.entry);
+        assert_eq!(entry.num_params, 0, "entry function must take no parameters");
+        let mut frames = vec![Frame::new(self.module, self.module.entry, 0)];
+        let mut timer = CoreTimer::new(&self.config, 0);
+        let seq_core = 0usize;
+        let mut seq_regions: Vec<SeqRegion> = Vec::new();
+        let mut final_ret = 0i64;
+
+        while !frames.is_empty() {
+            self.bump_steps()?;
+            let depth = frames.len();
+            let frame = frames.last_mut().expect("nonempty");
+            let func = self.module.func(frame.func);
+            let block = func.block(frame.block);
+            if frame.idx < block.instrs.len() {
+                let instr = block.instrs[frame.idx].clone();
+                frame.idx += 1;
+                self.exec_seq_instr(&instr, &mut frames, &mut timer, seq_core, &seq_regions)?;
+            } else {
+                let term = block.term.clone().expect("validated module");
+                match term {
+                    Terminator::Jump(to) => {
+                        self.seq_transfer(
+                            to,
+                            &mut frames,
+                            &mut timer,
+                            seq_core,
+                            &mut seq_regions,
+                        )?;
+                    }
+                    Terminator::Br { cond, t, f } => {
+                        let (c, ready) = self.eval(frame, cond);
+                        let (issue, complete) = timer.issue(ready, self.config.lat_alu);
+                        self.time = issue;
+                        let taken = c != 0;
+                        let key = (frame.func.0 as u64) << 32 | frame.block.0 as u64;
+                        if !self.branch[seq_core].update(key, taken) {
+                            timer.stall_until(complete + self.config.mispredict_penalty);
+                        }
+                        let to = if taken { t } else { f };
+                        self.seq_transfer(
+                            to,
+                            &mut frames,
+                            &mut timer,
+                            seq_core,
+                            &mut seq_regions,
+                        )?;
+                    }
+                    Terminator::Ret(v) => {
+                        let rv = v.map(|op| self.eval(frame, op));
+                        let (issue, _) = timer.issue(rv.map_or(0, |r| r.1), self.config.lat_alu);
+                        self.time = issue;
+                        let done = frames.pop().expect("nonempty");
+                        // Close sequential region instances of this frame.
+                        while seq_regions.last().is_some_and(|r| r.depth == depth) {
+                            let r = seq_regions.pop().expect("nonempty");
+                            self.close_seq_region(r);
+                        }
+                        match frames.last_mut() {
+                            Some(caller) => {
+                                if let Some(dst) = done.ret_to {
+                                    caller.regs[dst.index()] = rv.map_or(0, |r| r.0);
+                                    caller.ready[dst.index()] = issue + self.config.lat_alu;
+                                }
+                            }
+                            None => final_ret = rv.map_or(0, |r| r.0),
+                        }
+                    }
+                }
+            }
+        }
+
+        self.result.output = std::mem::take(&mut self.output);
+        self.result.ret = final_ret;
+        self.result.total_cycles = self.time;
+        self.result.instructions = self.steps;
+        let region_cycles: u64 = self.result.regions.values().map(|r| r.cycles).sum();
+        self.result.sequential_cycles = self.time.saturating_sub(region_cycles);
+        Ok(self.result)
+    }
+
+    fn close_seq_region(&mut self, r: SeqRegion) {
+        let stats = self.result.regions.entry(r.rid).or_default();
+        stats.cycles += self.time.saturating_sub(r.start);
+        stats.instances += 1;
+        stats.epochs += r.iter + 1;
+        // One core busy: attribute its slots for completeness.
+        let cycles = self.time.saturating_sub(r.start);
+        stats.slots.other += cycles * self.config.issue_width * (self.config.cores as u64 - 1);
+    }
+
+    /// Execute one sequential-mode instruction.
+    fn exec_seq_instr(
+        &mut self,
+        instr: &Instr,
+        frames: &mut Vec<Frame>,
+        timer: &mut CoreTimer,
+        core: usize,
+        seq_regions: &[SeqRegion],
+    ) -> Result<(), SimError> {
+        let frame = frames.last_mut().expect("nonempty");
+        match instr {
+            Instr::Assign { dst, src } => {
+                let (v, r) = self.eval(frame, *src);
+                let (issue, complete) = timer.issue(r, self.config.lat_alu);
+                self.time = issue;
+                frame.regs[dst.index()] = v;
+                frame.ready[dst.index()] = complete;
+            }
+            Instr::Bin { dst, op, a, b } => {
+                let (va, ra) = self.eval(frame, *a);
+                let (vb, rb) = self.eval(frame, *b);
+                let (issue, complete) = timer.issue(ra.max(rb), self.bin_latency(*op));
+                self.time = issue;
+                frame.regs[dst.index()] = op.eval(va, vb);
+                frame.ready[dst.index()] = complete;
+            }
+            Instr::Load { dst, addr, off, .. } | Instr::SyncLoad { dst, addr, off, .. } => {
+                let (a, r) = self.eval(frame, *addr);
+                let a = a.wrapping_add(*off);
+                let lat = self.caches.access(core, a);
+                let (issue, complete) = timer.issue(r, lat);
+                self.time = issue;
+                frame.regs[dst.index()] = self.mem.read(a);
+                frame.ready[dst.index()] = complete;
+            }
+            Instr::Store { val, addr, off, .. } => {
+                let (a, ra) = self.eval(frame, *addr);
+                let (v, rv) = self.eval(frame, *val);
+                let a = a.wrapping_add(*off);
+                self.caches.access(core, a);
+                let (issue, _) = timer.issue(ra.max(rv), self.config.lat_alu);
+                self.time = issue;
+                self.mem.write(a, v);
+            }
+            Instr::Call { dst, func, args, .. } => {
+                if frames.len() >= MAX_CALL_DEPTH {
+                    return Err(SimError::CallDepth(MAX_CALL_DEPTH));
+                }
+                let (issue, complete) = timer.issue(0, self.config.lat_alu);
+                self.time = issue;
+                let mut nf = Frame::new(self.module, *func, complete);
+                for (i, arg) in args.iter().enumerate() {
+                    let (v, r) = self.eval(frames.last().expect("nonempty"), *arg);
+                    nf.regs[i] = v;
+                    nf.ready[i] = r.max(complete);
+                }
+                nf.ret_to = *dst;
+                frames.push(nf);
+            }
+            Instr::Output { val } => {
+                let (v, r) = self.eval(frame, *val);
+                let (issue, _) = timer.issue(r, self.config.lat_alu);
+                self.time = issue;
+                self.output.push(v);
+            }
+            Instr::EpochId { dst } => {
+                let (issue, complete) = timer.issue(0, self.config.lat_alu);
+                self.time = issue;
+                frame.regs[dst.index()] = seq_regions.last().map_or(0, |r| r.iter as i64);
+                frame.ready[dst.index()] = complete;
+            }
+            Instr::WaitScalar { dst, chan } => {
+                let (issue, complete) = timer.issue(0, self.config.lat_alu);
+                self.time = issue;
+                frame.regs[dst.index()] = self.chan_regs[chan.index()];
+                frame.ready[dst.index()] = complete;
+            }
+            Instr::SignalScalar { chan, val } => {
+                let (v, r) = self.eval(frame, *val);
+                let (issue, _) = timer.issue(r, self.config.lat_alu);
+                self.time = issue;
+                self.chan_regs[chan.index()] = v;
+            }
+            Instr::SignalMem { .. } | Instr::SignalMemNull { .. } => {
+                let (issue, _) = timer.issue(0, self.config.lat_alu);
+                self.time = issue;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sequential-mode control transfer; may enter a region (parallel mode)
+    /// or maintain sequential-region bookkeeping.
+    fn seq_transfer(
+        &mut self,
+        to: BlockId,
+        frames: &mut [Frame],
+        timer: &mut CoreTimer,
+        seq_core: usize,
+        seq_regions: &mut Vec<SeqRegion>,
+    ) -> Result<(), SimError> {
+        let depth = frames.len();
+        let frame_func = frames.last().expect("nonempty").func;
+        // Close sequential region instances whose blocks we leave.
+        while let Some(top) = seq_regions.last() {
+            if top.depth == depth && !self.region_blocks[top.rid.index()].contains(&to) {
+                let r = seq_regions.pop().expect("nonempty");
+                self.close_seq_region(r);
+            } else {
+                break;
+            }
+        }
+        if let Some(&rid) = self.region_headers.get(&(frame_func, to)) {
+            if self.config.parallelize {
+                let ord = self.region_ord;
+                self.region_ord += 1;
+                self.run_region(rid, ord, to, frames, timer, seq_core)?;
+                return Ok(());
+            }
+            // Sequential attribution.
+            if let Some(top) = seq_regions.last_mut() {
+                if top.depth == depth && top.rid == rid {
+                    top.iter += 1;
+                    let frame = frames.last_mut().expect("nonempty");
+                    frame.block = to;
+                    frame.idx = 0;
+                    return Ok(());
+                }
+            }
+            self.region_ord += 1;
+            seq_regions.push(SeqRegion {
+                rid,
+                depth,
+                start: self.time,
+                iter: 0,
+            });
+        }
+        let frame = frames.last_mut().expect("nonempty");
+        frame.block = to;
+        frame.idx = 0;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel mode
+    // ------------------------------------------------------------------
+
+    fn spawn_epoch(&self, index: u64, core: usize, at: u64, base: &Frame, header: BlockId) -> Epoch {
+        let mut frame = base.clone();
+        frame.block = header;
+        frame.idx = 0;
+        frame.ready.iter_mut().for_each(|r| *r = at);
+        Epoch {
+            index,
+            core,
+            frames: vec![frame],
+            timer: CoreTimer::new(&self.config, at),
+            clock: at,
+            status: Status::Running,
+            wb: WriteBuffer::default(),
+            reads: ReadSet::default(),
+            sync: SyncState::default(),
+            outputs: Vec::new(),
+            predicted: Vec::new(),
+            occ: HashMap::new(),
+            consumed: std::collections::HashSet::new(),
+            attempt_start: at,
+            sync_cycles: 0,
+            finish: None,
+        }
+    }
+
+    /// Execute one region instance in parallel; on return, `frames`'s top
+    /// frame has been advanced past the loop.
+    fn run_region(
+        &mut self,
+        rid: RegionId,
+        ord: u64,
+        header: BlockId,
+        frames: &mut [Frame],
+        timer: &mut CoreTimer,
+        seq_core: usize,
+    ) -> Result<(), SimError> {
+        let t0 = self.time;
+        let base = frames.last().expect("nonempty").clone();
+        let cores = self.config.cores;
+
+        // The committed baseline mailbox: epoch 0 reads region-entry values.
+        let mut committed_out = SyncState::default();
+        for c in 0..self.module.next_chan {
+            committed_out
+                .out_scalars
+                .insert(tls_ir::ChanId(c), (self.chan_regs[c as usize], t0));
+        }
+        for g in 0..self.module.next_group {
+            committed_out.out_mems.insert(
+                GroupId(g),
+                MemSignal {
+                    addr: None,
+                    value: 0,
+                    ready_at: t0,
+                },
+            );
+        }
+
+        let mut epochs: Vec<Epoch> = (0..cores as u64)
+            .map(|k| {
+                self.spawn_epoch(
+                    k,
+                    (seq_core + k as usize) % cores,
+                    t0 + self.config.spawn_overhead * k,
+                    &base,
+                    header,
+                )
+            })
+            .collect();
+        let mut next_index = cores as u64;
+        let mut token_time = t0;
+        let mut pendings: Vec<Pending> = Vec::new();
+        let mut attributed: u64 = 0;
+        let mut stats = RegionStats {
+            instances: 1,
+            ..RegionStats::default()
+        };
+        let w = self.config.issue_width;
+
+        let end: (BlockId, Vec<i64>, u64) = 'region: loop {
+            // 1. Commit as many oldest-done epochs as possible.
+            while !epochs.is_empty() && epochs[0].status == Status::Done {
+                let (exit, finish) = epochs[0].finish.expect("done epoch has finish");
+                let start = finish.max(token_time);
+                // Verify value predictions (mode P).
+                let mispredict = epochs[0]
+                    .predicted
+                    .iter()
+                    .find(|(_, addr, pred)| self.mem.read(*addr) != *pred)
+                    .copied();
+                if let Some((sid, addr, _)) = mispredict {
+                    let actual = self.mem.read(addr);
+                    self.predictor.mispredicted(sid, actual);
+                    let victim = epochs[0].index;
+                    self.squash(
+                        &mut epochs,
+                        &base,
+                        header,
+                        SquashReq {
+                            victim,
+                            time: start,
+                            load_sid: Some(sid),
+                        },
+                        &mut pendings,
+                        &mut stats,
+                        &mut attributed,
+                    );
+                    continue;
+                }
+                let commit_done = start
+                    + self.config.commit_overhead
+                    + self.config.commit_per_line * epochs[0].wb.dirty_lines() as u64;
+                let e = epochs.remove(0);
+                for (a, v) in e.wb.iter() {
+                    self.mem.write(a, v);
+                    self.caches.install(e.core, a);
+                    self.caches.invalidate_others(e.core, a);
+                }
+                for (chan, (v, _)) in &e.sync.out_scalars {
+                    self.chan_regs[chan.index()] = *v;
+                }
+                committed_out.absorb(&e.sync);
+                self.output.extend(e.outputs.iter().copied());
+                self.result.max_signal_buffer =
+                    self.result.max_signal_buffer.max(e.sync.sig_buf_high_water);
+                // Attempt accounting.
+                let cycles = commit_done.saturating_sub(e.attempt_start);
+                let slots = cycles * w;
+                let busy = e.timer.graduated().min(slots);
+                let sync = (e.sync_cycles * w).min(slots - busy);
+                stats.slots.add(&SlotBreakdown {
+                    busy,
+                    fail: 0,
+                    sync,
+                    other: slots - busy - sync,
+                });
+                attributed += slots;
+                stats.epochs += 1;
+                token_time = commit_done;
+                // Wake the new oldest epoch if it was stalling till oldest.
+                if let Some(head) = epochs.first_mut() {
+                    if let Status::WaitOldest(since) = head.status {
+                        head.status = Status::Running;
+                        head.clock = since.max(commit_done);
+                        head.sync_cycles += head.clock - since;
+                        head.timer.stall_until(head.clock);
+                    }
+                }
+                // Fire pending violations produced by this commit.
+                let fired: Vec<Pending> = pendings
+                    .iter()
+                    .copied()
+                    .filter(|p| p.producer == e.index)
+                    .collect();
+                pendings.retain(|p| p.producer != e.index);
+                if let Some(v) = fired
+                    .iter()
+                    .filter(|p| epochs.iter().any(|x| x.index == p.consumer))
+                    .min_by_key(|p| p.consumer)
+                {
+                    self.squash(
+                        &mut epochs,
+                        &base,
+                        header,
+                        SquashReq {
+                            victim: v.consumer,
+                            time: commit_done,
+                            load_sid: Some(v.sid),
+                        },
+                        &mut pendings,
+                        &mut stats,
+                        &mut attributed,
+                    );
+                }
+                if let Some(exit_block) = exit {
+                    // Region ends: cancel remaining speculative epochs.
+                    for cancelled in &epochs {
+                        let cycles = commit_done.saturating_sub(cancelled.attempt_start);
+                        stats.slots.fail += cycles * w;
+                        attributed += cycles * w;
+                    }
+                    break 'region (exit_block, e.frames[0].regs.clone(), commit_done);
+                }
+                // Freed core picks up the next epoch.
+                let spawn_at = commit_done + self.config.spawn_overhead;
+                let ep = self.spawn_epoch(next_index, e.core, spawn_at, &base, header);
+                epochs.push(ep);
+                next_index += 1;
+            }
+
+            // 2. Wake epochs whose signals have arrived.
+            for i in 0..epochs.len() {
+                let (older, cur) = epochs.split_at_mut(i);
+                let pred_out = older.last().map_or(&committed_out, |p| &p.sync);
+                let e = &mut cur[0];
+                match e.status {
+                    Status::WaitScalar(chan, since) => {
+                        if let Some(&(_, ready)) = pred_out.out_scalars.get(&chan) {
+                            e.status = Status::Running;
+                            e.clock = since.max(ready);
+                            e.sync_cycles += e.clock - since;
+                            e.timer.stall_until(e.clock);
+                        }
+                    }
+                    Status::WaitMem(group, since) => {
+                        if let Some(sig) = pred_out.out_mems.get(&group) {
+                            e.status = Status::Running;
+                            e.clock = since.max(sig.ready_at);
+                            e.sync_cycles += e.clock - since;
+                            e.timer.stall_until(e.clock);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            // 3. Step the runnable epoch with the smallest clock.
+            let Some(i) = epochs
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.status == Status::Running)
+                .min_by_key(|(_, e)| (e.clock, e.index))
+                .map(|(i, _)| i)
+            else {
+                if epochs.first().is_some_and(|e| e.status == Status::Done) {
+                    continue; // commit loop will handle it
+                }
+                return Err(SimError::Deadlock { time: self.time });
+            };
+            self.bump_steps()?;
+            let req = self.step_epoch(&mut epochs, i, ord, header, rid, &committed_out, &mut pendings)?;
+            if let Some(req) = req {
+                self.squash(
+                    &mut epochs,
+                    &base,
+                    header,
+                    req,
+                    &mut pendings,
+                    &mut stats,
+                    &mut attributed,
+                );
+            }
+        };
+
+        let (exit_block, final_regs, end_time) = end;
+        stats.cycles += end_time.saturating_sub(t0);
+        let total_slots = (cores as u64) * w * end_time.saturating_sub(t0);
+        stats.slots.other += total_slots.saturating_sub(attributed);
+        let agg = self.result.regions.entry(rid).or_default();
+        agg.cycles += stats.cycles;
+        agg.slots.add(&stats.slots);
+        agg.instances += stats.instances;
+        agg.epochs += stats.epochs;
+        agg.violations += stats.violations;
+        for (k, v) in stats.violation_classes {
+            *agg.violation_classes.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in stats.violations_by_load {
+            *agg.violations_by_load.entry(k).or_insert(0) += v;
+        }
+        self.result.total_violations += stats.violations;
+
+        // Resume sequential execution.
+        self.time = end_time;
+        timer.flush(end_time);
+        let frame = frames.last_mut().expect("nonempty");
+        frame.regs = final_regs;
+        frame.ready.iter_mut().for_each(|r| *r = end_time);
+        frame.block = exit_block;
+        frame.idx = 0;
+        Ok(())
+    }
+
+    /// Squash `req.victim` and every later active epoch; restart them.
+    #[allow(clippy::too_many_arguments)]
+    fn squash(
+        &mut self,
+        epochs: &mut [Epoch],
+        base: &Frame,
+        header: BlockId,
+        req: SquashReq,
+        pendings: &mut Vec<Pending>,
+        stats: &mut RegionStats,
+        attributed: &mut u64,
+    ) {
+        let w = self.config.issue_width;
+        if let Some(sid) = req.load_sid {
+            let class = match (
+                self.config.mark_compiler.contains(&sid),
+                self.viol_table.probe(sid),
+            ) {
+                (false, false) => ViolationClass::Neither,
+                (true, false) => ViolationClass::CompilerOnly,
+                (false, true) => ViolationClass::HardwareOnly,
+                (true, true) => ViolationClass::Both,
+            };
+            *stats.violation_classes.entry(class).or_insert(0) += 1;
+            *stats.violations_by_load.entry(sid).or_insert(0) += 1;
+            self.viol_table.record_violation(sid, req.time);
+        }
+        for e in epochs.iter_mut().filter(|e| e.index >= req.victim) {
+            let now = req.time.max(e.attempt_start);
+            let cycles = now - e.attempt_start;
+            stats.slots.fail += cycles * w;
+            *attributed += cycles * w;
+            stats.violations += 1;
+            let restart = req.time.max(e.clock) + self.config.restart_penalty;
+            let mut frame = base.clone();
+            frame.block = header;
+            frame.idx = 0;
+            frame.ready.iter_mut().for_each(|r| *r = restart);
+            e.frames = vec![frame];
+            e.timer = CoreTimer::new(&self.config, restart);
+            e.clock = restart;
+            e.status = Status::Running;
+            e.wb.clear();
+            e.reads.clear();
+            e.sync.clear();
+            e.outputs.clear();
+            e.predicted.clear();
+            e.occ.clear();
+            e.consumed.clear();
+            e.attempt_start = restart;
+            e.sync_cycles = 0;
+            e.finish = None;
+        }
+        pendings.retain(|p| p.producer < req.victim && p.consumer < req.victim);
+    }
+
+    /// Execute one instruction (or terminator) of epoch `i`; returns a
+    /// squash request if the step violated a later epoch.
+    #[allow(clippy::too_many_arguments)]
+    fn step_epoch(
+        &mut self,
+        epochs: &mut [Epoch],
+        i: usize,
+        ord: u64,
+        header: BlockId,
+        rid: RegionId,
+        committed_out: &SyncState,
+        pendings: &mut Vec<Pending>,
+    ) -> Result<Option<SquashReq>, SimError> {
+        let (older, rest) = epochs.split_at_mut(i);
+        let (cur, younger) = rest.split_at_mut(1);
+        let e = &mut cur[0];
+        let is_oldest = older.is_empty();
+        let pred_out = older.last().map_or(committed_out, |p| &p.sync);
+        let depth = e.frames.len();
+        let frame = e.frames.last_mut().expect("epoch has frames");
+        let func = self.module.func(frame.func);
+        let block = func.block(frame.block);
+
+        if frame.idx >= block.instrs.len() {
+            // Terminator.
+            let term = block.term.clone().expect("validated module");
+            match term {
+                Terminator::Jump(to) => {
+                    let (issue, _) = e.timer.issue(0, self.config.lat_alu);
+                    e.clock = issue;
+                    Self::epoch_transfer(e, to, depth, header, &self.region_blocks[rid.index()]);
+                }
+                Terminator::Br { cond, t, f } => {
+                    let (c, ready) = eval_in(self.module, frame, cond);
+                    let (issue, complete) = e.timer.issue(ready, self.config.lat_alu);
+                    e.clock = issue;
+                    let taken = c != 0;
+                    let key = (frame.func.0 as u64) << 32 | frame.block.0 as u64;
+                    if !self.branch[e.core].update(key, taken) {
+                        e.timer
+                            .stall_until(complete + self.config.mispredict_penalty);
+                    }
+                    let to = if taken { t } else { f };
+                    Self::epoch_transfer(e, to, depth, header, &self.region_blocks[rid.index()]);
+                }
+                Terminator::Ret(v) => {
+                    if depth == 1 {
+                        return Err(SimError::RetInRegion(func.name.clone()));
+                    }
+                    let rv = v.map(|op| eval_in(self.module, frame, op));
+                    let (issue, complete) = e.timer.issue(rv.map_or(0, |r| r.1), self.config.lat_alu);
+                    e.clock = issue;
+                    let done = e.frames.pop().expect("nonempty");
+                    let caller = e.frames.last_mut().expect("depth > 1");
+                    if let Some(dst) = done.ret_to {
+                        caller.regs[dst.index()] = rv.map_or(0, |r| r.0);
+                        caller.ready[dst.index()] = complete;
+                    }
+                }
+            }
+            return Ok(None);
+        }
+
+        let instr = block.instrs[frame.idx].clone();
+        match &instr {
+            Instr::Assign { dst, src } => {
+                let (v, r) = eval_in(self.module, frame, *src);
+                let (issue, complete) = e.timer.issue(r, self.config.lat_alu);
+                e.clock = issue;
+                frame.regs[dst.index()] = v;
+                frame.ready[dst.index()] = complete;
+                frame.idx += 1;
+            }
+            Instr::Bin { dst, op, a, b } => {
+                let (va, ra) = eval_in(self.module, frame, *a);
+                let (vb, rb) = eval_in(self.module, frame, *b);
+                let (issue, complete) = e.timer.issue(ra.max(rb), self.bin_latency(*op));
+                e.clock = issue;
+                frame.regs[dst.index()] = op.eval(va, vb);
+                frame.ready[dst.index()] = complete;
+                frame.idx += 1;
+            }
+            Instr::Output { val } => {
+                let (v, r) = eval_in(self.module, frame, *val);
+                let (issue, _) = e.timer.issue(r, self.config.lat_alu);
+                e.clock = issue;
+                e.outputs.push(v);
+                frame.idx += 1;
+            }
+            Instr::EpochId { dst } => {
+                let (issue, complete) = e.timer.issue(0, self.config.lat_alu);
+                e.clock = issue;
+                frame.regs[dst.index()] = e.index as i64;
+                frame.ready[dst.index()] = complete;
+                frame.idx += 1;
+            }
+            Instr::Call { dst, func: callee, args, .. } => {
+                if e.frames.len() >= MAX_CALL_DEPTH {
+                    return Err(SimError::CallDepth(MAX_CALL_DEPTH));
+                }
+                let (issue, complete) = e.timer.issue(0, self.config.lat_alu);
+                e.clock = issue;
+                let mut nf = Frame::new(self.module, *callee, complete);
+                for (k, arg) in args.iter().enumerate() {
+                    let (v, r) = eval_in(self.module, e.frames.last().expect("nonempty"), *arg);
+                    nf.regs[k] = v;
+                    nf.ready[k] = r.max(complete);
+                }
+                nf.ret_to = *dst;
+                e.frames.last_mut().expect("nonempty").idx += 1;
+                e.frames.push(nf);
+            }
+            Instr::WaitScalar { dst, chan } => {
+                match pred_out.out_scalars.get(chan) {
+                    None => {
+                        e.status = Status::WaitScalar(*chan, e.clock);
+                        // Do not advance idx: re-execute on wake.
+                    }
+                    Some(&(v, ready)) => {
+                        let (issue, complete) = e.timer.issue(ready, self.config.lat_alu);
+                        e.clock = issue;
+                        frame.regs[dst.index()] = v;
+                        frame.ready[dst.index()] = complete;
+                        frame.idx += 1;
+                    }
+                }
+            }
+            Instr::SignalScalar { chan, val } => {
+                let (v, r) = eval_in(self.module, frame, *val);
+                let (issue, _) = e.timer.issue(r, self.config.lat_alu);
+                e.clock = issue;
+                e.sync
+                    .out_scalars
+                    .insert(*chan, (v, issue + self.config.forward_lat));
+                frame.idx += 1;
+            }
+            Instr::SignalMem { group, addr, off, val, .. } => {
+                let (a, ra) = eval_in(self.module, frame, *addr);
+                let (v, rv) = eval_in(self.module, frame, *val);
+                let a = a.wrapping_add(*off);
+                let (issue, _) = e.timer.issue(ra.max(rv), self.config.lat_alu);
+                e.clock = issue;
+                e.sync.out_mems.insert(
+                    *group,
+                    MemSignal {
+                        addr: Some(a),
+                        value: v,
+                        ready_at: issue + self.config.forward_lat,
+                    },
+                );
+                e.sync.push_sig_buf(*group, a);
+                frame.idx += 1;
+            }
+            Instr::SignalMemNull { group } => {
+                let (issue, _) = e.timer.issue(0, self.config.lat_alu);
+                e.clock = issue;
+                let sig = if self.config.relay_forwarding {
+                    pred_out.out_mems.get(group).copied()
+                } else {
+                    None
+                };
+                match sig {
+                    Some(relayed) if relayed.addr.is_some() => {
+                        let a = relayed.addr.expect("checked");
+                        // Relay only if this epoch has not overwritten it.
+                        if e.wb.wrote_word(a) {
+                            e.sync.out_mems.insert(
+                                *group,
+                                MemSignal {
+                                    addr: Some(a),
+                                    value: e.wb.load(a).expect("wrote_word"),
+                                    ready_at: issue + self.config.forward_lat,
+                                },
+                            );
+                        } else {
+                            e.sync.out_mems.insert(
+                                *group,
+                                MemSignal {
+                                    ready_at: issue + self.config.forward_lat,
+                                    ..relayed
+                                },
+                            );
+                        }
+                        e.sync.push_sig_buf(*group, a);
+                    }
+                    _ => {
+                        e.sync.out_mems.insert(
+                            *group,
+                            MemSignal {
+                                addr: None,
+                                value: 0,
+                                ready_at: issue + self.config.forward_lat,
+                            },
+                        );
+                    }
+                }
+                frame.idx += 1;
+            }
+            Instr::Store { val, addr, off, sid } => {
+                let (a, ra) = eval_in(self.module, frame, *addr);
+                let (v, rv) = eval_in(self.module, frame, *val);
+                let a = a.wrapping_add(*off);
+                let (issue, _) = e.timer.issue(ra.max(rv), self.config.lat_alu);
+                e.clock = issue;
+                e.wb.store(a, v);
+                frame.idx += 1;
+                // Signal-address-buffer check: re-signal and violate the
+                // consumer (§2.2 "p, q and y all point to the same
+                // location").
+                let mut victim: Option<(u64, Option<Sid>)> = None;
+                for g in e.sync.buffered_groups_at(a) {
+                    // Re-signal the updated value; restart the consumer only
+                    // if it already used the stale one (§2.2).
+                    e.sync.out_mems.insert(
+                        g,
+                        MemSignal {
+                            addr: Some(a),
+                            value: v,
+                            ready_at: issue + self.config.forward_lat,
+                        },
+                    );
+                    if let Some(succ) = younger.first() {
+                        if succ.consumed.contains(&g) {
+                            victim = Some((succ.index, Some(*sid)));
+                        }
+                    }
+                }
+                // Eager dependence check against later epochs' read sets.
+                let line = line_of(a);
+                for y in younger.iter() {
+                    let conflict = if self.config.word_grain {
+                        y.reads.read_word(a)
+                    } else {
+                        y.reads.line_reader(line).is_some()
+                    };
+                    if conflict {
+                        let lsid = y.reads.line_reader(line);
+                        if victim.is_none_or(|(v0, _)| y.index < v0) {
+                            victim = Some((y.index, lsid));
+                        }
+                        break; // epochs are in index order: first hit is youngest-older... keep scanning? They're ascending: first conflict is the oldest conflicting — squash cascades anyway.
+                    }
+                }
+                if let Some((v0, lsid)) = victim {
+                    return Ok(Some(SquashReq {
+                        victim: v0,
+                        time: issue,
+                        load_sid: lsid,
+                    }));
+                }
+            }
+            Instr::Load { dst, addr, off, sid } => {
+                let (a, r) = eval_in(self.module, frame, *addr);
+                let a = a.wrapping_add(*off);
+                let occ = {
+                    let c = e.occ.entry(*sid).or_insert(0);
+                    let cur = *c;
+                    *c += 1;
+                    cur
+                };
+                // Perfect prediction (modes O and Figure 6)?
+                let oracle_hit = match (&self.config.oracle_sel, self.oracle) {
+                    (OracleSel::AllLoads, Some(o)) => o.value(
+                        OracleKey { region_ord: ord, epoch: e.index, sid: *sid },
+                        occ as usize,
+                    ),
+                    (OracleSel::Sids(s), Some(o)) if s.contains(sid) => o.value(
+                        OracleKey { region_ord: ord, epoch: e.index, sid: *sid },
+                        occ as usize,
+                    ),
+                    _ => None,
+                };
+                if let Some(v) = oracle_hit {
+                    let lat = self.caches.access(e.core, a);
+                    let (issue, complete) = e.timer.issue(r, lat);
+                    e.clock = issue;
+                    frame.regs[dst.index()] = v;
+                    frame.ready[dst.index()] = complete;
+                    frame.idx += 1;
+                    return Ok(None);
+                }
+                // Hardware-inserted synchronization / Figure 11 marking:
+                // stall a flagged load until this epoch is the oldest.
+                let hw_flagged = self.config.hw_sync && self.viol_table.contains(*sid, e.clock);
+                let mark_flagged = self
+                    .config
+                    .stall_marked
+                    .as_ref()
+                    .is_some_and(|s| s.contains(sid));
+                if !is_oldest && (hw_flagged || mark_flagged) {
+                    e.occ.entry(*sid).and_modify(|c| *c -= 1);
+                    e.status = Status::WaitOldest(e.clock);
+                    return Ok(None);
+                }
+                // Hardware value prediction (mode P) for flagged loads. A
+                // load whose word this epoch already wrote must read its own
+                // buffer — prediction only replaces values that would come
+                // from (possibly stale) memory.
+                if self.config.hw_predict
+                    && !is_oldest
+                    && !e.wb.wrote_word(a)
+                    && self.viol_table.contains(*sid, e.clock)
+                {
+                    if let Some(pred) = self.predictor.predict(*sid) {
+                        let (issue, complete) = e.timer.issue(r, self.config.lat_alu);
+                        e.clock = issue;
+                        frame.regs[dst.index()] = pred;
+                        frame.ready[dst.index()] = complete;
+                        e.predicted.push((*sid, a, pred));
+                        frame.idx += 1;
+                        return Ok(None);
+                    }
+                }
+                let dst = *dst;
+                let sid = *sid;
+                self.epoch_plain_load(e, older, a, sid, pendings, r, dst);
+                e.frames.last_mut().expect("nonempty").idx += 1;
+            }
+            Instr::SyncLoad { dst, addr, off, group, sid } => {
+                let (a, r) = eval_in(self.module, frame, *addr);
+                let a = a.wrapping_add(*off);
+                let (dst, group, sid) = (*dst, *group, *sid);
+                match self.config.sync_load_policy {
+                    SyncLoadPolicy::Oracle => {
+                        let occ = {
+                            let c = e.occ.entry(sid).or_insert(0);
+                            let cur = *c;
+                            *c += 1;
+                            cur
+                        };
+                        let val = self.oracle.and_then(|o| {
+                            o.value(
+                                OracleKey { region_ord: ord, epoch: e.index, sid },
+                                occ as usize,
+                            )
+                        });
+                        if let Some(v) = val {
+                            let (issue, complete) = e.timer.issue(r, self.config.lat_alu);
+                            e.clock = issue;
+                            let frame = e.frames.last_mut().expect("nonempty");
+                            frame.regs[dst.index()] = v;
+                            frame.ready[dst.index()] = complete;
+                        } else {
+                            e.occ.entry(sid).and_modify(|c| *c -= 1);
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst);
+                        }
+                        e.frames.last_mut().expect("nonempty").idx += 1;
+                    }
+                    SyncLoadPolicy::StallTillOldest => {
+                        if !is_oldest {
+                            e.status = Status::WaitOldest(e.clock);
+                        } else {
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst);
+                            e.frames.last_mut().expect("nonempty").idx += 1;
+                        }
+                    }
+                    SyncLoadPolicy::Forward => {
+                        // Hybrid enhancement (iii): hardware tracks whether
+                        // this load's forwarded value is actually usable.
+                        // Useful → trust the compiler (no hardware stall);
+                        // useless → stop waiting and hand the load to plain
+                        // speculation + hardware synchronization.
+                        let filtered_out = if self.config.hybrid_filter {
+                            let (tries, uses) =
+                                self.forward_usefulness.get(&sid).copied().unwrap_or((0, 0));
+                            tries >= 16 && uses * 4 < tries
+                        } else {
+                            false
+                        };
+                        // Plain-hybrid mode: hardware may stall a synchronized
+                        // load that keeps causing violations (its forwarded
+                        // address rarely matches) until this epoch is the
+                        // oldest. With the filter on, useful loads are exempt.
+                        if !is_oldest
+                            && self.config.hw_sync
+                            && (!self.config.hybrid_filter || filtered_out)
+                            && self.viol_table.contains(sid, e.clock)
+                        {
+                            e.status = Status::WaitOldest(e.clock);
+                            return Ok(None);
+                        }
+                        if filtered_out {
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst);
+                            e.frames.last_mut().expect("nonempty").idx += 1;
+                            return Ok(None);
+                        }
+                        match pred_out.out_mems.get(&group).copied() {
+                            None => {
+                                e.status = Status::WaitMem(group, e.clock);
+                            }
+                            Some(sig) => {
+                                self.forward_usefulness.entry(sid).or_insert((0, 0)).0 += 1;
+                                if sig.addr == Some(a) && !e.wb.wrote_word(a) {
+                                    self.forward_usefulness
+                                        .entry(sid)
+                                        .or_insert((0, 0))
+                                        .1 += 1;
+                                }
+                                if e.wb.wrote_word(a) {
+                                    // Locally overwritten: use our own value
+                                    // (use_forwarded_value cleared).
+                                    let v = e.wb.load(a).expect("wrote_word");
+                                    let (issue, complete) =
+                                        e.timer.issue(r.max(sig.ready_at), self.config.l1_lat);
+                                    e.clock = issue;
+                                    let frame = e.frames.last_mut().expect("nonempty");
+                                    frame.regs[dst.index()] = v;
+                                    frame.ready[dst.index()] = complete;
+                                } else if sig.addr == Some(a) {
+                                    // Address match: use the forwarded value;
+                                    // exempt from violation tracking.
+                                    let (issue, complete) =
+                                        e.timer.issue(r.max(sig.ready_at), self.config.lat_alu);
+                                    e.clock = issue;
+                                    e.consumed.insert(group);
+                                    let frame = e.frames.last_mut().expect("nonempty");
+                                    frame.regs[dst.index()] = sig.value;
+                                    frame.ready[dst.index()] = complete;
+                                } else {
+                                    // NULL or mismatched address: plain load.
+                                    self.epoch_plain_load(
+                                        e,
+                                        older,
+                                        a,
+                                        sid,
+                                        pendings,
+                                        r.max(sig.ready_at),
+                                        dst,
+                                    );
+                                }
+                                e.frames.last_mut().expect("nonempty").idx += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// The shared "ordinary speculative load" path: own write buffer, else
+    /// committed memory with read-set tracking and pending-violation
+    /// registration.
+    #[allow(clippy::too_many_arguments)]
+    fn epoch_plain_load(
+        &mut self,
+        e: &mut Epoch,
+        older: &[Epoch],
+        a: i64,
+        sid: Sid,
+        pendings: &mut Vec<Pending>,
+        ready: u64,
+        dst: Var,
+    ) -> i64 {
+        let frame = e.frames.last_mut().expect("nonempty");
+        if let Some(v) = e.wb.load(a) {
+            let (issue, complete) = e.timer.issue(ready, self.config.l1_lat);
+            e.clock = issue;
+            frame.regs[dst.index()] = v;
+            frame.ready[dst.index()] = complete;
+            return v;
+        }
+        let v = self.mem.read(a);
+        let lat = self.caches.access(e.core, a);
+        let (issue, complete) = e.timer.issue(ready, lat);
+        e.clock = issue;
+        frame.regs[dst.index()] = v;
+        frame.ready[dst.index()] = complete;
+        e.reads.insert(a, sid);
+        // Commit-time dependence: an older epoch holds an uncommitted store
+        // to this line.
+        let line = line_of(a);
+        let producer = older.iter().rev().find(|p| {
+            if self.config.word_grain {
+                p.wb.wrote_word(a)
+            } else {
+                p.wb.wrote_line(line)
+            }
+        });
+        if let Some(p) = producer {
+            pendings.push(Pending {
+                producer: p.index,
+                consumer: e.index,
+                sid,
+            });
+        }
+        if self.config.hw_predict {
+            self.predictor.train(sid, v);
+        }
+        v
+    }
+
+    /// Apply an intra-epoch control transfer; reaching the region header or
+    /// leaving the region's blocks ends the epoch.
+    fn epoch_transfer(
+        e: &mut Epoch,
+        to: BlockId,
+        depth: usize,
+        header: BlockId,
+        region_blocks: &HashSet<BlockId>,
+    ) {
+        if depth == 1 && to == header {
+            e.status = Status::Done;
+            e.finish = Some((None, e.clock));
+            return;
+        }
+        if depth == 1 && !region_blocks.contains(&to) {
+            e.status = Status::Done;
+            e.finish = Some((Some(to), e.clock));
+            return;
+        }
+        let frame = e.frames.last_mut().expect("nonempty");
+        frame.block = to;
+        frame.idx = 0;
+    }
+}
+
+fn eval_in(module: &Module, frame: &Frame, op: Operand) -> (i64, u64) {
+    match op {
+        Operand::Var(v) => (frame.regs[v.index()], frame.ready[v.index()]),
+        Operand::Const(c) => (c, 0),
+        Operand::Global(g) => (module.global(g).addr, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use tls_ir::{ModuleBuilder, RegionId, SpecRegion};
+
+    /// Mark the loop {head, body...} of function `f` as region 0.
+    fn mark_region(mb: &mut ModuleBuilder, f: FuncId, header: BlockId, blocks: Vec<BlockId>) {
+        let module = mb.module_mut();
+        let id = RegionId(module.regions.len() as u32);
+        module.regions.push(SpecRegion {
+            id,
+            func: f,
+            header,
+            blocks,
+            unroll: 1,
+        });
+    }
+
+    /// Independent loop: arr[i] = i*2 for i in 0..n, induction var
+    /// privatized through EpochId; outputs the checksum afterwards.
+    fn independent_module(n: i64) -> Module {
+        let mut mb = ModuleBuilder::new();
+        let arr = mb.add_global("arr", n as u64, vec![]);
+        let f = mb.declare("main", 0);
+        let mut fb = mb.define(f);
+        let (i, ep, c, p, v, sum, j, q) = (
+            fb.var("i"),
+            fb.var("ep"),
+            fb.var("c"),
+            fb.var("p"),
+            fb.var("v"),
+            fb.var("sum"),
+            fb.var("j"),
+            fb.var("q"),
+        );
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        let chead = fb.block("chead");
+        let cbody = fb.block("cbody");
+        let cexit = fb.block("cexit");
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.epoch_id(ep);
+        fb.assign(i, tls_ir::Operand::Var(ep));
+        fb.bin(c, op_lt(), i, n);
+        fb.br(c, body, exit);
+        fb.switch_to(body);
+        fb.bin(p, op_add(), arr_op(arr), i);
+        fb.bin(v, op_mul(), i, 2);
+        // Enough independent per-epoch work to amortize spawn/commit
+        // overheads (the paper unrolls small loops for the same reason).
+        for _ in 0..16 {
+            fb.bin(v, op_mul(), v, 3);
+            fb.bin(v, op_add(), v, 1);
+        }
+        fb.store(v, p, 0);
+        fb.jump(head);
+        fb.switch_to(exit);
+        fb.assign(sum, 0);
+        fb.assign(j, 0);
+        fb.jump(chead);
+        fb.switch_to(chead);
+        fb.bin(c, op_lt(), j, n);
+        fb.br(c, cbody, cexit);
+        fb.switch_to(cbody);
+        fb.bin(q, op_add(), arr_op(arr), j);
+        fb.load(v, q, 0);
+        fb.bin(sum, op_add(), sum, v);
+        fb.bin(j, op_add(), j, 1);
+        fb.jump(chead);
+        fb.switch_to(cexit);
+        fb.output(sum);
+        fb.ret(None);
+        fb.finish();
+        mb.set_entry(f);
+        mark_region(&mut mb, f, BlockId(1), vec![BlockId(1), BlockId(2)]);
+        mb.build().expect("valid")
+    }
+
+    // Small helpers so the builder calls above read compactly.
+    fn op_lt() -> tls_ir::BinOp {
+        tls_ir::BinOp::Lt
+    }
+    fn op_add() -> tls_ir::BinOp {
+        tls_ir::BinOp::Add
+    }
+    fn op_mul() -> tls_ir::BinOp {
+        tls_ir::BinOp::Mul
+    }
+    fn arr_op(g: tls_ir::GlobalId) -> tls_ir::Operand {
+        tls_ir::Operand::Global(g)
+    }
+
+    #[test]
+    fn independent_loop_matches_sequential_and_speeds_up() {
+        let m = independent_module(64);
+        let seq_ref = tls_profile::run_sequential(&m).expect("runs");
+        let par = Machine::new(&m, SimConfig::cgo2004()).run().expect("simulates");
+        assert_eq!(par.output, seq_ref.output);
+        let seq = Machine::new(&m, SimConfig::sequential()).run().expect("simulates");
+        assert_eq!(seq.output, seq_ref.output);
+        let rid = RegionId(0);
+        let par_cycles = par.regions[&rid].cycles;
+        let seq_cycles = seq.regions[&rid].cycles;
+        assert!(par.total_violations <= 4, "unexpected violations: {}", par.total_violations);
+        assert!(
+            (par_cycles as f64) < 0.7 * seq_cycles as f64,
+            "no speedup: par {par_cycles} vs seq {seq_cycles}"
+        );
+        assert!(par.regions[&rid].epochs >= 64);
+    }
+
+    /// Loop with a loop-carried scalar communicated through a channel.
+    fn scalar_sync_module(n: i64) -> Module {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare("main", 0);
+        let chan = mb.fresh_chan();
+        let mut fb = mb.define(f);
+        let (ep, i, c, sum) = (fb.var("ep"), fb.var("i"), fb.var("c"), fb.var("sum"));
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.signal_scalar(chan, 0);
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.epoch_id(ep);
+        fb.assign(i, tls_ir::Operand::Var(ep));
+        fb.bin(c, op_lt(), i, n);
+        fb.br(c, body, exit);
+        fb.switch_to(body);
+        fb.wait_scalar(sum, chan);
+        fb.bin(sum, op_add(), sum, i);
+        fb.signal_scalar(chan, sum);
+        fb.jump(head);
+        fb.switch_to(exit);
+        fb.wait_scalar(sum, chan);
+        fb.output(sum);
+        fb.ret(None);
+        fb.finish();
+        mb.set_entry(f);
+        mark_region(&mut mb, f, BlockId(1), vec![BlockId(1), BlockId(2)]);
+        mb.build().expect("valid")
+    }
+
+    #[test]
+    fn scalar_forwarding_chains_values_across_epochs() {
+        let m = scalar_sync_module(20);
+        let seq_ref = tls_profile::run_sequential(&m).expect("runs");
+        assert_eq!(seq_ref.output, vec![190]); // 0+1+..+19
+        let par = Machine::new(&m, SimConfig::cgo2004()).run().expect("simulates");
+        assert_eq!(par.output, vec![190]);
+        assert_eq!(par.total_violations, 0);
+        // The wait/signal chain serializes partially: sync slots appear.
+        assert!(par.regions[&RegionId(0)].slots.sync > 0);
+    }
+
+    /// Loop with a memory-resident dependence through global `acc`; when
+    /// `synced` the body uses SyncLoad/SignalMem, else plain load/store.
+    fn mem_dep_module(n: i64, synced: bool) -> (Module, Sid) {
+        let mut mb = ModuleBuilder::new();
+        let acc = mb.add_global("acc", 1, vec![0]);
+        let f = mb.declare("main", 0);
+        let group = mb.fresh_group();
+        let mut fb = mb.define(f);
+        let (ep, i, c, v, w) = (
+            fb.var("ep"),
+            fb.var("i"),
+            fb.var("c"),
+            fb.var("v"),
+            fb.var("w"),
+        );
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.epoch_id(ep);
+        fb.assign(i, tls_ir::Operand::Var(ep));
+        fb.bin(c, op_lt(), i, n);
+        fb.br(c, body, exit);
+        fb.switch_to(body);
+        let load_sid = if synced {
+            fb.sync_load(v, acc, 0, group)
+        } else {
+            fb.load(v, acc, 0)
+        };
+        fb.bin(v, op_add(), v, 1);
+        fb.store(v, acc, 0);
+        if synced {
+            fb.signal_mem(group, acc, 0, v);
+        }
+        // Independent tail work *after* the value is produced: this is what
+        // early forwarding overlaps and stall-till-commit serializes.
+        fb.assign(w, tls_ir::Operand::Var(i));
+        for _ in 0..12 {
+            fb.bin(w, op_mul(), w, 3);
+            fb.bin(w, op_add(), w, 1);
+        }
+        fb.jump(head);
+        fb.switch_to(exit);
+        fb.load(v, acc, 0);
+        fb.output(v);
+        fb.ret(None);
+        fb.finish();
+        mb.set_entry(f);
+        mark_region(&mut mb, f, BlockId(1), vec![BlockId(1), BlockId(2)]);
+        (mb.build().expect("valid"), load_sid)
+    }
+
+    #[test]
+    fn unsynchronized_dependence_violates_but_stays_correct() {
+        let (m, _) = mem_dep_module(40, false);
+        let par = Machine::new(&m, SimConfig::cgo2004()).run().expect("simulates");
+        assert_eq!(par.output, vec![40]);
+        assert!(par.total_violations > 0, "expected violations");
+        assert!(par.regions[&RegionId(0)].slots.fail > 0);
+    }
+
+    #[test]
+    fn compiler_synchronization_eliminates_violations() {
+        let (unsynced, _) = mem_dep_module(40, false);
+        let (synced, _) = mem_dep_module(40, true);
+        let u = Machine::new(&unsynced, SimConfig::cgo2004()).run().expect("simulates");
+        let c = Machine::new(&synced, SimConfig::cgo2004()).run().expect("simulates");
+        assert_eq!(c.output, vec![40]);
+        assert_eq!(c.total_violations, 0, "forwarding should avoid violations");
+        assert!(c.regions[&RegionId(0)].slots.fail < u.regions[&RegionId(0)].slots.fail);
+        assert!(c.max_signal_buffer >= 1);
+        assert!(c.max_signal_buffer <= 10, "paper: ≤10 entries suffice");
+    }
+
+    #[test]
+    fn hardware_sync_reduces_failed_speculation() {
+        let (m, _) = mem_dep_module(60, false);
+        let u = Machine::new(&m, SimConfig::cgo2004()).run().expect("simulates");
+        let mut hcfg = SimConfig::cgo2004();
+        hcfg.hw_sync = true;
+        let h = Machine::new(&m, hcfg).run().expect("simulates");
+        assert_eq!(h.output, vec![60]);
+        assert!(
+            h.total_violations < u.total_violations,
+            "hw sync: {} vs unsync: {}",
+            h.total_violations,
+            u.total_violations
+        );
+    }
+
+    #[test]
+    fn stall_till_oldest_policy_serializes_sync_loads() {
+        let (m, _) = mem_dep_module(40, true);
+        let mut cfg = SimConfig::cgo2004();
+        cfg.sync_load_policy = SyncLoadPolicy::StallTillOldest;
+        let l = Machine::new(&m, cfg).run().expect("simulates");
+        assert_eq!(l.output, vec![40]);
+        let fwd = Machine::new(&m, SimConfig::cgo2004()).run().expect("simulates");
+        // Early forwarding must be at least as fast as stalling till commit.
+        assert!(
+            fwd.regions[&RegionId(0)].cycles <= l.regions[&RegionId(0)].cycles,
+            "forwarding {} should beat stalling {}",
+            fwd.regions[&RegionId(0)].cycles,
+            l.regions[&RegionId(0)].cycles
+        );
+    }
+
+    #[test]
+    fn oracle_mode_eliminates_all_violations() {
+        let (m, _) = mem_dep_module(40, false);
+        let oracle = tls_profile::record_oracle(&m).expect("records");
+        let mut cfg = SimConfig::cgo2004();
+        cfg.oracle_sel = OracleSel::AllLoads;
+        let o = Machine::with_oracle(&m, cfg, &oracle).run().expect("simulates");
+        assert_eq!(o.output, vec![40]);
+        assert_eq!(o.total_violations, 0);
+    }
+
+    #[test]
+    fn signal_address_buffer_catches_late_stores() {
+        // Producer signals, then stores again to the same address: the
+        // consumer must be restarted with the re-signalled value.
+        let mut mb = ModuleBuilder::new();
+        let acc = mb.add_global("acc", 1, vec![0]);
+        let f = mb.declare("main", 0);
+        let group = mb.fresh_group();
+        let mut fb = mb.define(f);
+        let (ep, i, c, v, v2) = (
+            fb.var("ep"),
+            fb.var("i"),
+            fb.var("c"),
+            fb.var("v"),
+            fb.var("v2"),
+        );
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.epoch_id(ep);
+        fb.assign(i, tls_ir::Operand::Var(ep));
+        fb.bin(c, op_lt(), i, 12);
+        fb.br(c, body, exit);
+        fb.switch_to(body);
+        fb.sync_load(v, acc, 0, group);
+        fb.bin(v, op_add(), v, 1);
+        fb.store(v, acc, 0);
+        fb.signal_mem(group, acc, 0, v);
+        // Late store AFTER the signal: value becomes v + 2 overall.
+        fb.bin(v2, op_add(), v, 1);
+        fb.store(v2, acc, 0);
+        fb.jump(head);
+        fb.switch_to(exit);
+        fb.load(v, acc, 0);
+        fb.output(v);
+        fb.ret(None);
+        fb.finish();
+        mb.set_entry(f);
+        mark_region(&mut mb, f, BlockId(1), vec![BlockId(1), BlockId(2)]);
+        let m = mb.build().expect("valid");
+        let seq_ref = tls_profile::run_sequential(&m).expect("runs");
+        assert_eq!(seq_ref.output, vec![24]); // +2 per iteration
+        let par = Machine::new(&m, SimConfig::cgo2004()).run().expect("simulates");
+        assert_eq!(par.output, vec![24], "late stores must restart consumers");
+    }
+
+    #[test]
+    fn sequential_mode_attributes_region_cycles() {
+        let m = independent_module(32);
+        let seq = Machine::new(&m, SimConfig::sequential()).run().expect("simulates");
+        let r = &seq.regions[&RegionId(0)];
+        assert_eq!(r.instances, 1);
+        assert!(r.cycles > 0);
+        assert!(seq.total_cycles >= r.cycles);
+        assert_eq!(seq.total_violations, 0);
+    }
+
+    #[test]
+    fn violation_classification_tracks_marking() {
+        let (m, load_sid) = mem_dep_module(60, false);
+        let mut cfg = SimConfig::cgo2004();
+        cfg.mark_compiler = [load_sid].into_iter().collect();
+        let r = Machine::new(&m, cfg).run().expect("simulates");
+        let classes = r.violation_class_totals();
+        let compiler_covered = classes.get(&ViolationClass::CompilerOnly).copied().unwrap_or(0)
+            + classes.get(&ViolationClass::Both).copied().unwrap_or(0);
+        assert!(compiler_covered > 0, "marked load should dominate violations: {classes:?}");
+    }
+
+    #[test]
+    fn slot_breakdown_accounts_all_region_slots() {
+        let (m, _) = mem_dep_module(40, false);
+        let cfg = SimConfig::cgo2004();
+        let w = cfg.issue_width;
+        let cores = cfg.cores as u64;
+        let r = Machine::new(&m, cfg).run().expect("simulates");
+        let stats = &r.regions[&RegionId(0)];
+        let total = stats.slots.total();
+        let expected = stats.cycles * w * cores;
+        assert_eq!(total, expected, "slots must partition cores×width×cycles");
+        assert!(stats.slots.busy > 0);
+    }
+}
+
+#[cfg(test)]
+mod protocol_tests {
+    //! Targeted tests of the TLS protocol mechanics: commit-time pending
+    //! violations, cascade squashes, relay forwarding, per-word tracking,
+    //! and epoch/commit ordering.
+
+    use super::*;
+    use crate::config::SimConfig;
+    use tls_ir::{BinOp, ModuleBuilder, RegionId, SpecRegion};
+
+    fn mark_region(mb: &mut ModuleBuilder, f: FuncId, header: BlockId, blocks: Vec<BlockId>) {
+        let module = mb.module_mut();
+        let id = RegionId(module.regions.len() as u32);
+        module.regions.push(SpecRegion {
+            id,
+            func: f,
+            header,
+            blocks,
+            unroll: 1,
+        });
+    }
+
+    /// Producer stores LATE in the epoch, consumer loads EARLY: the load
+    /// happens after the store executes but before it commits — only the
+    /// commit-time pending mechanism can catch it.
+    #[test]
+    fn commit_time_pending_violations_fire() {
+        let mut mb = ModuleBuilder::new();
+        let acc = mb.add_global("acc", 1, vec![0]);
+        let f = mb.declare("main", 0);
+        let mut fb = mb.define(f);
+        let (ep, c, v, w) = (fb.var("ep"), fb.var("c"), fb.var("v"), fb.var("w"));
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.epoch_id(ep);
+        fb.bin(c, BinOp::Lt, ep, 20);
+        fb.br(c, body, exit);
+        fb.switch_to(body);
+        // Early exposed read.
+        fb.load(v, acc, 0);
+        // Long independent stretch, then the late store.
+        fb.assign(w, tls_ir::Operand::Var(ep));
+        for _ in 0..12 {
+            fb.bin(w, BinOp::Mul, w, 3);
+            fb.bin(w, BinOp::Add, w, 1);
+        }
+        fb.bin(v, BinOp::Add, v, 1);
+        fb.store(v, acc, 0);
+        fb.jump(head);
+        fb.switch_to(exit);
+        fb.load(v, acc, 0);
+        fb.output(v);
+        fb.ret(None);
+        fb.finish();
+        mb.set_entry(f);
+        mark_region(&mut mb, f, BlockId(1), vec![BlockId(1), BlockId(2)]);
+        let m = mb.build().expect("valid");
+        let r = Machine::new(&m, SimConfig::cgo2004()).run().expect("simulates");
+        assert_eq!(r.output, vec![20], "commit-time detection keeps it correct");
+        assert!(r.total_violations > 0, "the early load must be caught");
+    }
+
+    /// Per-word tracking (the ablation) removes pure false-sharing
+    /// violations: two epochs touch different words of one line.
+    #[test]
+    fn word_granularity_removes_false_sharing() {
+        let mut mb = ModuleBuilder::new();
+        let pair = mb.add_global("pair", 2, vec![0, 0]);
+        let f = mb.declare("main", 0);
+        let mut fb = mb.define(f);
+        let (ep, c, unit, p, v, w) = (
+            fb.var("ep"),
+            fb.var("c"),
+            fb.var("unit"),
+            fb.var("p"),
+            fb.var("v"),
+            fb.var("w"),
+        );
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.epoch_id(ep);
+        fb.bin(c, BinOp::Lt, ep, 24);
+        fb.br(c, body, exit);
+        fb.switch_to(body);
+        fb.assign(w, tls_ir::Operand::Var(ep));
+        for _ in 0..8 {
+            fb.bin(w, BinOp::Mul, w, 3);
+        }
+        fb.bin(unit, BinOp::And, ep, 1);
+        fb.bin(p, BinOp::Add, pair, unit);
+        fb.load(v, p, 0);
+        fb.bin(v, BinOp::Add, v, 1);
+        fb.store(v, p, 0);
+        fb.jump(head);
+        fb.switch_to(exit);
+        fb.load(v, pair, 0);
+        fb.output(v);
+        fb.load(v, pair, 1);
+        fb.output(v);
+        fb.ret(None);
+        fb.finish();
+        mb.set_entry(f);
+        mark_region(&mut mb, f, BlockId(1), vec![BlockId(1), BlockId(2)]);
+        let m = mb.build().expect("valid");
+        let line = Machine::new(&m, SimConfig::cgo2004()).run().expect("simulates");
+        let word = Machine::new(
+            &m,
+            SimConfig {
+                word_grain: true,
+                ..SimConfig::cgo2004()
+            },
+        )
+        .run()
+        .expect("simulates");
+        assert_eq!(line.output, vec![12, 12]);
+        assert_eq!(word.output, vec![12, 12]);
+        assert!(line.total_violations > 0, "line tracking sees false sharing");
+        assert!(
+            word.total_violations < line.total_violations / 2,
+            "word tracking keeps only the true distance-2 violations \
+             (word {} vs line {})",
+            word.total_violations,
+            line.total_violations
+        );
+    }
+
+    /// Relay forwarding: a distance-2 dependence (only even epochs store)
+    /// becomes forwardable when intermediate epochs relay instead of
+    /// signalling NULL.
+    #[test]
+    fn relay_forwarding_extends_reach_and_stays_correct() {
+        let mut mb = ModuleBuilder::new();
+        let cell = mb.add_global("cell", 1, vec![100]);
+        let f = mb.declare("main", 0);
+        let group = mb.fresh_group();
+        let mut fb = mb.define(f);
+        let (ep, c, v, par) = (fb.var("ep"), fb.var("c"), fb.var("v"), fb.var("par"));
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let store_b = fb.block("store_b");
+        let skip_b = fb.block("skip_b");
+        let latch = fb.block("latch");
+        let exit = fb.block("exit");
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.epoch_id(ep);
+        fb.bin(c, BinOp::Lt, ep, 16);
+        fb.br(c, body, exit);
+        fb.switch_to(body);
+        fb.sync_load(v, cell, 0, group);
+        fb.bin(par, BinOp::And, ep, 1);
+        fb.bin(par, BinOp::Eq, par, 0);
+        fb.br(par, store_b, skip_b);
+        fb.switch_to(store_b);
+        fb.bin(v, BinOp::Add, v, 1);
+        fb.store(v, cell, 0);
+        fb.signal_mem(group, cell, 0, v);
+        fb.jump(latch);
+        fb.switch_to(skip_b);
+        fb.signal_mem_null(group);
+        fb.jump(latch);
+        fb.switch_to(latch);
+        fb.jump(head);
+        fb.switch_to(exit);
+        fb.load(v, cell, 0);
+        fb.output(v);
+        fb.ret(None);
+        fb.finish();
+        mb.set_entry(f);
+        mark_region(&mut mb, f, BlockId(1), [(1..=5).map(BlockId).collect::<Vec<_>>()].concat());
+        let m = mb.build().expect("valid");
+        let null_mode = Machine::new(&m, SimConfig::cgo2004()).run().expect("simulates");
+        let relay = Machine::new(
+            &m,
+            SimConfig {
+                relay_forwarding: true,
+                ..SimConfig::cgo2004()
+            },
+        )
+        .run()
+        .expect("simulates");
+        assert_eq!(null_mode.output, vec![108]);
+        assert_eq!(relay.output, vec![108], "relay must stay correct");
+        assert!(
+            relay.total_violations <= null_mode.total_violations,
+            "relay should not add violations (relay {} vs null {})",
+            relay.total_violations,
+            null_mode.total_violations
+        );
+    }
+
+    /// Epochs commit strictly in order: the observable output (one value per
+    /// epoch) appears in epoch order even though epochs finish out of order.
+    #[test]
+    fn outputs_commit_in_epoch_order() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare("main", 0);
+        let mut fb = mb.define(f);
+        let (ep, c, w, amt) = (fb.var("ep"), fb.var("c"), fb.var("w"), fb.var("amt"));
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let spin_h = fb.block("spin_h");
+        let spin_b = fb.block("spin_b");
+        let done = fb.block("done");
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.epoch_id(ep);
+        fb.bin(c, BinOp::Lt, ep, 12);
+        fb.br(c, body, done);
+        fb.switch_to(body);
+        // Epochs do *varying* amounts of work: even epochs spin longer.
+        fb.bin(amt, BinOp::And, ep, 1);
+        fb.bin(amt, BinOp::Mul, amt, 20);
+        fb.bin(amt, BinOp::Add, amt, 3);
+        fb.assign(w, 0);
+        fb.jump(spin_h);
+        fb.switch_to(spin_h);
+        fb.bin(c, BinOp::Lt, w, amt);
+        fb.br(c, spin_b, head);
+        fb.switch_to(spin_b);
+        fb.bin(w, BinOp::Add, w, 1);
+        fb.jump(spin_h);
+        fb.switch_to(done);
+        fb.ret(None);
+        fb.finish();
+        mb.set_entry(f);
+        mark_region(
+            &mut mb,
+            f,
+            BlockId(1),
+            vec![BlockId(1), BlockId(2), BlockId(3), BlockId(4)],
+        );
+        // Each epoch outputs its index.
+        let m = {
+            let module = mb.module_mut();
+            // Insert `output ep` at the top of the body block.
+            module.funcs[0].blocks[2].instrs.insert(
+                3,
+                Instr::Output {
+                    val: Operand::Var(Var(0)),
+                },
+            );
+            mb.build().expect("valid")
+        };
+        let r = Machine::new(&m, SimConfig::cgo2004()).run().expect("simulates");
+        assert_eq!(r.output, (0..12).collect::<Vec<i64>>());
+    }
+}

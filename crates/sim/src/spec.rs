@@ -1,0 +1,257 @@
+//! Per-epoch speculative state.
+//!
+//! Each epoch buffers its stores in a private write buffer (the paper uses
+//! the first-level data cache), tracks the lines it speculatively loaded at
+//! cache-line granularity (per-word store masks prevent an epoch's own
+//! writes from registering as exposed reads), holds the mailboxes of
+//! incoming forwarded values, and maintains the producer-side signal
+//! address buffer of §2.2.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use tls_ir::{line_of, ChanId, GroupId, Sid};
+
+/// Speculative write buffer: word values plus touched-line bookkeeping.
+#[derive(Clone, Debug, Default)]
+pub struct WriteBuffer {
+    /// Word → value. `BTreeMap` so commit order is deterministic.
+    words: BTreeMap<i64, i64>,
+    lines: HashSet<i64>,
+}
+
+impl WriteBuffer {
+    /// Record a speculative store.
+    pub fn store(&mut self, addr: i64, val: i64) {
+        self.words.insert(addr, val);
+        self.lines.insert(line_of(addr));
+    }
+
+    /// This epoch's value for `addr`, if it wrote it.
+    pub fn load(&self, addr: i64) -> Option<i64> {
+        self.words.get(&addr).copied()
+    }
+
+    /// Did the epoch write to this exact word?
+    pub fn wrote_word(&self, addr: i64) -> bool {
+        self.words.contains_key(&addr)
+    }
+
+    /// Did the epoch write anywhere in this line?
+    pub fn wrote_line(&self, line: i64) -> bool {
+        self.lines.contains(&line)
+    }
+
+    /// Number of speculatively-modified lines (commit cost).
+    pub fn dirty_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Words written, in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
+        self.words.iter().map(|(a, v)| (*a, *v))
+    }
+
+    /// Discard all buffered state (squash).
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.lines.clear();
+    }
+}
+
+/// Speculatively-loaded locations, tracked at line granularity (with the
+/// word retained for the per-word ablation) and remembering the first load
+/// sid per line for violation attribution.
+#[derive(Clone, Debug, Default)]
+pub struct ReadSet {
+    /// Line → sid of the first exposed load of that line.
+    lines: HashMap<i64, Sid>,
+    /// Exact words read (used only when `word_grain` tracking is on).
+    words: HashSet<i64>,
+}
+
+impl ReadSet {
+    /// Record an exposed load of `addr` by static load `sid`.
+    pub fn insert(&mut self, addr: i64, sid: Sid) {
+        self.lines.entry(line_of(addr)).or_insert(sid);
+        self.words.insert(addr);
+    }
+
+    /// If the epoch read line `line`, the sid of its first load of it.
+    pub fn line_reader(&self, line: i64) -> Option<Sid> {
+        self.lines.get(&line).copied()
+    }
+
+    /// Did the epoch read this exact word?
+    pub fn read_word(&self, addr: i64) -> bool {
+        self.words.contains(&addr)
+    }
+
+    /// Discard (squash).
+    pub fn clear(&mut self) {
+        self.lines.clear();
+        self.words.clear();
+    }
+
+    /// Number of lines tracked.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True if no exposed loads were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// One forwarded memory value: `addr` of `None` encodes the NULL signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemSignal {
+    /// Forwarded address; `None` = NULL (no value produced on this path).
+    pub addr: Option<i64>,
+    /// Forwarded value (meaningless for NULL signals).
+    pub value: i64,
+    /// Cycle at which the signal is visible to the consumer.
+    pub ready_at: u64,
+}
+
+/// The signals one epoch has *sent* to its successor, plus the
+/// producer-side signal address buffer of §2.2.
+///
+/// Consumers read their predecessor's `SyncState` (the machine keeps the
+/// last committed epoch's around for the current oldest epoch), so signals
+/// survive consumer restarts and reach successors spawned after the signal
+/// was sent. A squash clears the state; the cascading squash guarantees no
+/// consumer retains a value from a cleared mailbox.
+#[derive(Clone, Debug, Default)]
+pub struct SyncState {
+    /// Scalar channel → (value, cycle at which the consumer can read it).
+    pub out_scalars: HashMap<ChanId, (i64, u64)>,
+    /// Memory group → forwarded signal.
+    pub out_mems: HashMap<GroupId, MemSignal>,
+    /// Producer-side signal address buffer: forwarded (group, addr) pairs;
+    /// a later store in this epoch to a buffered address violates the
+    /// consumer (§2.2).
+    pub sig_buf: Vec<(GroupId, i64)>,
+    /// Largest occupancy `sig_buf` reached (paper: never above 10).
+    pub sig_buf_high_water: usize,
+}
+
+impl SyncState {
+    /// Record a forwarded memory signal on the producer side.
+    pub fn push_sig_buf(&mut self, group: GroupId, addr: i64) {
+        self.sig_buf.push((group, addr));
+        self.sig_buf_high_water = self.sig_buf_high_water.max(self.sig_buf.len());
+    }
+
+    /// Groups whose forwarded address equals a word this store hits.
+    pub fn buffered_groups_at(&self, addr: i64) -> Vec<GroupId> {
+        self.sig_buf
+            .iter()
+            .filter(|(_, a)| *a == addr)
+            .map(|(g, _)| *g)
+            .collect()
+    }
+
+    /// Clear all state (squash: the epoch will re-execute and re-signal).
+    pub fn clear(&mut self) {
+        self.out_scalars.clear();
+        self.out_mems.clear();
+        self.sig_buf.clear();
+    }
+
+    /// Merge `newer`'s entries over this state (used to roll the committed
+    /// baseline forward when an epoch commits).
+    pub fn absorb(&mut self, newer: &SyncState) {
+        for (k, v) in &newer.out_scalars {
+            self.out_scalars.insert(*k, *v);
+        }
+        for (k, v) in &newer.out_mems {
+            self.out_mems.insert(*k, *v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tls_ir::LINE_WORDS;
+
+    #[test]
+    fn write_buffer_tracks_words_and_lines() {
+        let mut wb = WriteBuffer::default();
+        wb.store(10, 1);
+        wb.store(11, 2);
+        wb.store(10 + LINE_WORDS, 3);
+        assert_eq!(wb.load(10), Some(1));
+        assert_eq!(wb.load(12), None);
+        assert!(wb.wrote_word(11));
+        assert!(!wb.wrote_word(12));
+        assert!(wb.wrote_line(line_of(10)));
+        assert_eq!(wb.dirty_lines(), 2);
+        let all: Vec<_> = wb.iter().collect();
+        assert_eq!(all, vec![(10, 1), (11, 2), (10 + LINE_WORDS, 3)]);
+        wb.clear();
+        assert_eq!(wb.dirty_lines(), 0);
+        assert_eq!(wb.load(10), None);
+    }
+
+    #[test]
+    fn read_set_remembers_first_reader_per_line() {
+        let mut rs = ReadSet::default();
+        assert!(rs.is_empty());
+        rs.insert(8, Sid(5));
+        rs.insert(9, Sid(6)); // same line, later load
+        assert_eq!(rs.line_reader(line_of(8)), Some(Sid(5)));
+        assert!(rs.read_word(9));
+        assert!(!rs.read_word(10));
+        assert_eq!(rs.len(), 1);
+        rs.clear();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn signal_buffer_high_water_and_lookup() {
+        let mut s = SyncState::default();
+        s.push_sig_buf(GroupId(0), 100);
+        s.push_sig_buf(GroupId(1), 200);
+        s.push_sig_buf(GroupId(2), 100);
+        assert_eq!(s.sig_buf_high_water, 3);
+        assert_eq!(
+            s.buffered_groups_at(100),
+            vec![GroupId(0), GroupId(2)]
+        );
+        assert!(s.buffered_groups_at(300).is_empty());
+        s.clear();
+        assert!(s.sig_buf.is_empty());
+        assert_eq!(s.sig_buf_high_water, 3); // high water persists
+    }
+
+    #[test]
+    fn absorb_overrides_entries() {
+        let mut base = SyncState::default();
+        base.out_scalars.insert(ChanId(0), (1, 0));
+        base.out_scalars.insert(ChanId(1), (2, 0));
+        base.out_mems.insert(
+            GroupId(0),
+            MemSignal {
+                addr: None,
+                value: 0,
+                ready_at: 0,
+            },
+        );
+        let mut newer = SyncState::default();
+        newer.out_scalars.insert(ChanId(0), (10, 5));
+        newer.out_mems.insert(
+            GroupId(0),
+            MemSignal {
+                addr: Some(42),
+                value: 7,
+                ready_at: 9,
+            },
+        );
+        base.absorb(&newer);
+        assert_eq!(base.out_scalars[&ChanId(0)], (10, 5));
+        assert_eq!(base.out_scalars[&ChanId(1)], (2, 0)); // untouched
+        assert_eq!(base.out_mems[&GroupId(0)].addr, Some(42));
+    }
+}

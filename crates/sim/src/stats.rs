@@ -1,0 +1,171 @@
+//! Graduation-slot accounting and simulation results.
+//!
+//! The paper's region bars (Figures 2, 8, 9, 10) divide all potential
+//! graduation slots — issue width × cycles × cores — into four segments:
+//! `busy` (instructions graduated by committed epochs), `fail` (all slots of
+//! squashed epoch attempts), `sync` (stalls waiting on wait/signal or
+//! hardware synchronization) and `other` (everything else). This module
+//! holds those accumulators plus the per-run summary [`SimResult`].
+
+use std::collections::HashMap;
+
+use tls_ir::{RegionId, Sid};
+
+/// Potential graduation slots divided into the paper's four segments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlotBreakdown {
+    /// Slots in which an instruction of a committed epoch graduated.
+    pub busy: u64,
+    /// All slots of epoch attempts that were squashed.
+    pub fail: u64,
+    /// Slots stalled on synchronization (scalar/memory wait, hardware
+    /// stall-till-oldest, signal latency).
+    pub sync: u64,
+    /// Remaining slots (pipeline gaps, memory latency, commit waits, idle
+    /// cores).
+    pub other: u64,
+}
+
+impl SlotBreakdown {
+    /// Total slots.
+    pub fn total(&self) -> u64 {
+        self.busy + self.fail + self.sync + self.other
+    }
+
+    /// Add another breakdown in place.
+    pub fn add(&mut self, o: &SlotBreakdown) {
+        self.busy += o.busy;
+        self.fail += o.fail;
+        self.sync += o.sync;
+        self.other += o.other;
+    }
+
+    /// Move every slot into `fail` (used when an attempt is squashed).
+    pub fn into_fail(self) -> SlotBreakdown {
+        SlotBreakdown {
+            busy: 0,
+            fail: self.total(),
+            sync: 0,
+            other: 0,
+        }
+    }
+}
+
+/// Which synchronization scheme would have covered a violating load
+/// (Figure 11 classification).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViolationClass {
+    /// Neither compiler marking nor the hardware table covered the load.
+    Neither,
+    /// Only the compiler marking covered it.
+    CompilerOnly,
+    /// Only the hardware violating-loads table covered it.
+    HardwareOnly,
+    /// Both schemes covered it.
+    Both,
+}
+
+/// Aggregate statistics for all instances of one speculative region.
+#[derive(Clone, Debug, Default)]
+pub struct RegionStats {
+    /// Wall-clock cycles spent inside the region's instances.
+    pub cycles: u64,
+    /// Graduation-slot breakdown over `cores × issue_width × cycles`.
+    pub slots: SlotBreakdown,
+    /// Dynamic instances of the region.
+    pub instances: u64,
+    /// Committed epochs.
+    pub epochs: u64,
+    /// Squashed epoch attempts (violations).
+    pub violations: u64,
+    /// Violations classified by would-be synchronization coverage.
+    pub violation_classes: HashMap<ViolationClass, u64>,
+    /// Violations per static load id (diagnostics, hardware-table studies).
+    pub violations_by_load: HashMap<Sid, u64>,
+}
+
+/// The outcome of one simulation.
+#[derive(Clone, Debug, Default)]
+pub struct SimResult {
+    /// Observable output stream (must equal sequential execution's).
+    pub output: Vec<i64>,
+    /// Value returned by the entry function.
+    pub ret: i64,
+    /// Total program cycles.
+    pub total_cycles: u64,
+    /// Cycles spent outside any speculative region.
+    pub sequential_cycles: u64,
+    /// Dynamic instructions executed (committed work only).
+    pub instructions: u64,
+    /// Per-region aggregates.
+    pub regions: HashMap<RegionId, RegionStats>,
+    /// Largest signal-address-buffer occupancy observed (the paper reports
+    /// that 10 entries always suffice).
+    pub max_signal_buffer: usize,
+    /// Total squashed attempts across all regions.
+    pub total_violations: u64,
+}
+
+impl SimResult {
+    /// Cycles spent inside speculative regions (all regions summed).
+    pub fn region_cycles(&self) -> u64 {
+        self.regions.values().map(|r| r.cycles).sum()
+    }
+
+    /// Total violations classified for Figure 11.
+    pub fn violation_class_totals(&self) -> HashMap<ViolationClass, u64> {
+        let mut out = HashMap::new();
+        for r in self.regions.values() {
+            for (k, v) in &r.violation_classes {
+                *out.entry(*k).or_insert(0) += v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals_and_fail_conversion() {
+        let b = SlotBreakdown {
+            busy: 10,
+            fail: 2,
+            sync: 3,
+            other: 5,
+        };
+        assert_eq!(b.total(), 20);
+        let f = b.into_fail();
+        assert_eq!(f.fail, 20);
+        assert_eq!(f.busy + f.sync + f.other, 0);
+        let mut acc = SlotBreakdown::default();
+        acc.add(&b);
+        acc.add(&f);
+        assert_eq!(acc.total(), 40);
+        assert_eq!(acc.fail, 22);
+    }
+
+    #[test]
+    fn result_aggregates_regions() {
+        let mut r = SimResult::default();
+        let mut a = RegionStats {
+            cycles: 100,
+            ..RegionStats::default()
+        };
+        a.violation_classes.insert(ViolationClass::Both, 2);
+        let mut b = RegionStats {
+            cycles: 50,
+            ..RegionStats::default()
+        };
+        b.violation_classes.insert(ViolationClass::Both, 1);
+        b.violation_classes.insert(ViolationClass::Neither, 4);
+        r.regions.insert(RegionId(0), a);
+        r.regions.insert(RegionId(1), b);
+        assert_eq!(r.region_cycles(), 150);
+        let cls = r.violation_class_totals();
+        assert_eq!(cls[&ViolationClass::Both], 3);
+        assert_eq!(cls[&ViolationClass::Neither], 4);
+    }
+}

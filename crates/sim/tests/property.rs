@@ -1,0 +1,90 @@
+//! Property tests for the simulator's building blocks: the set-associative
+//! cache against a reference LRU model, and the pipeline timer's invariants.
+
+use proptest::prelude::*;
+use tls_sim::{CoreTimer, SetAssocCache, SimConfig};
+
+/// Reference model: per set, a Vec ordered most-recent-first.
+struct ModelCache {
+    sets: Vec<Vec<i64>>,
+    ways: usize,
+}
+
+impl ModelCache {
+    fn new(lines: usize, ways: usize) -> Self {
+        Self {
+            sets: vec![Vec::new(); lines / ways],
+            ways,
+        }
+    }
+
+    fn access(&mut self, line: i64) -> bool {
+        let set = line.rem_euclid(self.sets.len() as i64) as usize;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&l| l == line) {
+            s.remove(pos);
+            s.insert(0, line);
+            true
+        } else {
+            s.insert(0, line);
+            s.truncate(self.ways);
+            false
+        }
+    }
+
+    fn probe(&self, line: i64) -> bool {
+        let set = line.rem_euclid(self.sets.len() as i64) as usize;
+        self.sets[set].contains(&line)
+    }
+}
+
+proptest! {
+    /// The tag-array cache matches the ordered-list LRU model exactly.
+    #[test]
+    fn cache_matches_lru_model(
+        accesses in prop::collection::vec(0i64..64, 1..300),
+        ways in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let lines = 16 * ways; // 16 sets
+        let mut cache = SetAssocCache::new(lines, ways);
+        let mut model = ModelCache::new(lines, ways);
+        for &line in &accesses {
+            prop_assert_eq!(cache.access(line), model.access(line), "line {}", line);
+        }
+        for line in 0..64 {
+            prop_assert_eq!(cache.probe(line), model.probe(line), "probe {}", line);
+        }
+    }
+
+    /// Pipeline timer invariants: issue times are monotone, never earlier
+    /// than operand readiness, and graduation throughput respects the issue
+    /// width.
+    #[test]
+    fn timer_is_monotone_and_bounded(
+        instrs in prop::collection::vec((0u64..100, 1u64..20), 1..200),
+    ) {
+        let config = SimConfig::cgo2004();
+        let mut t = CoreTimer::new(&config, 0);
+        let mut last_issue = 0;
+        let mut max_complete = 0;
+        for &(ready_off, lat) in &instrs {
+            let ready = last_issue + ready_off % 3; // keep readiness nearby
+            let (issue, complete) = t.issue(ready, lat);
+            prop_assert!(issue >= last_issue, "issue went backwards");
+            prop_assert!(issue >= ready, "issued before operands ready");
+            prop_assert_eq!(complete, issue + lat);
+            last_issue = issue;
+            max_complete = max_complete.max(complete);
+        }
+        prop_assert_eq!(t.graduated(), instrs.len() as u64);
+        // Issue-width bound: n instructions need at least n/width cycles.
+        let min_cycles = instrs.len() as u64 / config.issue_width;
+        prop_assert!(
+            last_issue + 1 >= min_cycles,
+            "issued {} instructions in {} cycles on a {}-wide machine",
+            instrs.len(),
+            last_issue + 1,
+            config.issue_width
+        );
+    }
+}

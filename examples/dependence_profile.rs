@@ -1,0 +1,73 @@
+//! Profile a workload's inter-epoch dependences (the paper's §2.3 tool):
+//! per-loop coverage and trip counts, the frequent-dependence edges, and
+//! the dependence-distance histogram behind Figure 7.
+//!
+//! ```sh
+//! cargo run --example dependence_profile [workload]
+//! ```
+
+use tls_repro::profile::{profile_module, DIST_BUCKETS};
+use tls_repro::workloads::InputSet;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".to_string());
+    let Some(workload) = tls_repro::workloads::by_name(&name) else {
+        eprintln!(
+            "unknown workload `{name}`; available: {}",
+            tls_repro::workloads::all()
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    };
+    let module = workload.module(InputSet::Train);
+    let profile = profile_module(&module).expect("profiles");
+    println!(
+        "{}: {} dynamic instructions total\n",
+        workload.name, profile.total_dyn_instrs
+    );
+
+    let mut loops: Vec<_> = profile.loops.iter().collect();
+    loops.sort_by_key(|(_, lp)| std::cmp::Reverse(lp.dyn_instrs));
+    for (key, lp) in loops.iter().take(6) {
+        println!(
+            "loop {:?}/{:?}: coverage {:5.1}%  instances {:4}  epochs {:6}  instrs/epoch {:7.1}",
+            key.func,
+            key.header,
+            profile.coverage(**key) * 100.0,
+            lp.instances,
+            lp.total_iters,
+            lp.avg_epoch_size()
+        );
+        let mut edges: Vec<_> = lp.edges.iter().collect();
+        edges.sort_by_key(|(_, e)| std::cmp::Reverse(e.epochs));
+        for ((s, l), e) in edges.iter().take(4) {
+            let freq = e.epochs as f64 / lp.total_iters.max(1) as f64;
+            let flag = if freq >= 0.05 { "SYNC" } else { "    " };
+            print!(
+                "   {flag} store {} -> load {}: {:5.1}% of epochs, distances [",
+                s.sid,
+                l.sid,
+                freq * 100.0
+            );
+            let total: u64 = e.dist_hist.iter().sum();
+            for (d, n) in e.dist_hist.iter().enumerate() {
+                if *n > 0 {
+                    let label = if d + 1 < DIST_BUCKETS {
+                        format!("{}", d + 1)
+                    } else {
+                        format!("≥{DIST_BUCKETS}")
+                    };
+                    print!(" {label}:{:.0}%", *n as f64 / total as f64 * 100.0);
+                }
+            }
+            println!(" ]");
+        }
+    }
+    println!(
+        "\nedges marked SYNC exceed the paper's 5% threshold and would be \
+         synchronized by the compiler."
+    );
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the CGO 2004 TLS reproduction.
+//!
+//! Re-exports the component crates so examples and integration tests can use
+//! one dependency:
+//!
+//! * [`ir`] — the compiler IR with TLS intrinsics;
+//! * [`analysis`] — dataflow analyses (CFG, dominators, liveness, loops);
+//! * [`profile`] — sequential interpreter + dependence profiler;
+//! * [`core`] — the paper's synchronization-insertion compiler passes;
+//! * [`sim`] — the TLS chip-multiprocessor simulator;
+//! * [`workloads`] — the sixteen benchmark programs;
+//! * [`experiments`] — drivers reproducing every table and figure.
+//!
+//! See `README.md` for a tour and `examples/quickstart.rs` for the
+//! end-to-end flow: build a program → profile → insert synchronization →
+//! simulate → compare against sequential execution.
+
+pub use tls_analysis as analysis;
+pub use tls_core as core;
+pub use tls_experiments as experiments;
+pub use tls_ir as ir;
+pub use tls_profile as profile;
+pub use tls_sim as sim;
+pub use tls_workloads as workloads;

@@ -1,0 +1,74 @@
+//! The TLS correctness invariant, end to end: for every workload and every
+//! evaluation mode, speculative execution produces exactly the observable
+//! output of sequential execution. `Harness::run` verifies the output
+//! internally; these tests exercise the full matrix.
+
+use tls_repro::experiments::{Harness, Mode, Scale};
+
+fn check(workload_name: &str, modes: &[Mode]) {
+    let w = tls_repro::workloads::by_name(workload_name).expect("workload exists");
+    let h = Harness::new(w, Scale::Quick)
+        .unwrap_or_else(|e| panic!("{workload_name}: harness failed: {e}"));
+    for &mode in modes {
+        h.run(mode)
+            .unwrap_or_else(|e| panic!("{workload_name}/{}: {e}", mode.label()));
+    }
+}
+
+const MAIN_MODES: &[Mode] = &[
+    Mode::Unsync,
+    Mode::CompilerRef,
+    Mode::CompilerTrain,
+    Mode::HwSync,
+    Mode::Hybrid,
+];
+
+const IDEAL_MODES: &[Mode] = &[
+    Mode::OracleAll,
+    Mode::Threshold(25),
+    Mode::Threshold(5),
+    Mode::PerfectSync,
+    Mode::LateSync,
+    Mode::HwPredict,
+    Mode::Marking {
+        stall_compiler: true,
+        stall_hardware: true,
+    },
+];
+
+macro_rules! correctness_tests {
+    ($($name:ident => $wl:literal),* $(,)?) => {
+        $(
+            mod $name {
+                use super::*;
+                #[test]
+                fn main_modes_match_sequential() {
+                    check($wl, MAIN_MODES);
+                }
+                #[test]
+                fn idealized_modes_match_sequential() {
+                    check($wl, IDEAL_MODES);
+                }
+            }
+        )*
+    };
+}
+
+correctness_tests! {
+    go => "go",
+    m88ksim => "m88ksim",
+    ijpeg => "ijpeg",
+    gzip_comp1 => "gzip_comp1",
+    gzip_comp2 => "gzip_comp2",
+    gzip_decomp => "gzip_decomp",
+    vpr_place => "vpr_place",
+    gcc => "gcc",
+    mcf => "mcf",
+    crafty => "crafty",
+    parser => "parser",
+    perlbmk => "perlbmk",
+    gap => "gap",
+    bzip2_comp => "bzip2_comp",
+    bzip2_decomp => "bzip2_decomp",
+    twolf => "twolf",
+}

@@ -1,0 +1,92 @@
+//! Structural invariants of every workload after compilation: a region is
+//! selected, it matches the paper's selection heuristics, the train/ref
+//! builds stay sid-compatible through the pipeline, and the sequential
+//! baseline attributes a sensible coverage.
+
+use tls_repro::core::{compile_all, CompileOptions};
+use tls_repro::sim::{Machine, SimConfig};
+use tls_repro::workloads::{all, InputSet};
+
+#[test]
+fn every_workload_selects_a_qualifying_region() {
+    for w in all() {
+        let m = w.module(InputSet::Train);
+        let set = compile_all(&m, &m, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(
+            set.regions.len(),
+            1,
+            "{}: expected exactly one speculative region",
+            w.name
+        );
+        let r = &set.regions[0];
+        assert!(
+            r.avg_epoch_size >= 15.0,
+            "{}: epoch size {:.1} below the paper's floor",
+            w.name,
+            r.avg_epoch_size
+        );
+        assert!(
+            r.avg_trip >= 1.5,
+            "{}: avg trip {:.1} below the paper's floor",
+            w.name,
+            r.avg_trip
+        );
+        assert!(
+            r.coverage >= 0.001,
+            "{}: coverage {:.4} below the paper's floor",
+            w.name,
+            r.coverage
+        );
+        // Induction privatization always applies (the loop counter).
+        assert!(
+            set.report.privatized >= 1,
+            "{}: loop counter must be privatized",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn coverage_attribution_is_consistent() {
+    // The fraction of sequential cycles attributed to regions must be a
+    // proper fraction, and roughly agree with the profiled instruction
+    // coverage (cycles and instructions weight loops differently, so allow
+    // a wide band).
+    for w in all() {
+        let m = w.module(InputSet::Train);
+        let set = compile_all(&m, &m, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let seq = Machine::new(&set.seq, SimConfig::sequential())
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let total = seq.total_cycles.max(1) as f64;
+        let region = seq.region_cycles() as f64;
+        let cycle_cov = region / total;
+        assert!(
+            cycle_cov > 0.0 && cycle_cov < 1.0,
+            "{}: cycle coverage {cycle_cov:.3} out of range",
+            w.name
+        );
+        let instr_cov = set.regions[0].coverage;
+        assert!(
+            (cycle_cov - instr_cov).abs() < 0.45,
+            "{}: cycle coverage {cycle_cov:.2} far from instruction coverage {instr_cov:.2}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn train_profile_compiles_ref_code() {
+    // The T configuration: a profile gathered on the train module must
+    // apply cleanly to the ref module (identical sids) for every workload.
+    for w in all() {
+        let ref_m = w.module(InputSet::Ref);
+        let train_m = w.module(InputSet::Train);
+        let set = compile_all(&ref_m, &train_m, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        tls_repro::ir::validate(&set.synced)
+            .unwrap_or_else(|e| panic!("{}: invalid T module: {e}", w.name));
+    }
+}
