@@ -1,0 +1,175 @@
+//! `repro bench`: wall-clock measurement of the repro pipeline itself.
+//!
+//! Times the two phases of the pipeline per workload — *prepare* (compile
+//! both profiles, record oracles, run the sequential baseline) and
+//! *simulate* (the four headline modes `U`/`C`/`H`/`B`) — then repeats the
+//! whole pipeline once serially and once with the parallel fan-out of
+//! [`crate::par`] to measure the end-to-end speedup. The report serializes
+//! to `BENCH_repro.json` (hand-rolled JSON; the workspace builds offline,
+//! so no serde).
+
+use std::time::Instant;
+
+use tls_workloads::Workload;
+
+use crate::harness::{ExperimentError, Harness, Mode, Scale};
+use crate::par;
+use crate::report::json_string;
+
+/// The modes the simulate phase runs (the paper's headline comparison).
+const BENCH_MODES: [Mode; 4] = [Mode::Unsync, Mode::CompilerRef, Mode::HwSync, Mode::Hybrid];
+
+/// Per-workload phase timings (measured during the serial pass).
+#[derive(Clone, Debug)]
+pub struct WorkloadBench {
+    /// Workload name.
+    pub name: String,
+    /// Prepare phase (compile + profile + oracles + sequential baseline),
+    /// milliseconds.
+    pub prep_ms: f64,
+    /// Simulate phase (modes `U`, `C`, `H`, `B`), milliseconds.
+    pub sim_ms: f64,
+    /// Dynamic instructions simulated across the four modes.
+    pub instructions: u64,
+    /// Simulated instructions per wall-clock second during the simulate
+    /// phase.
+    pub ips: f64,
+}
+
+/// The full benchmark report.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Scale the pipeline ran at.
+    pub scale: Scale,
+    /// Worker threads used by the parallel pass.
+    pub jobs: usize,
+    /// CPUs available on the host.
+    pub host_cores: usize,
+    /// End-to-end wall time of the serial pass, milliseconds.
+    pub serial_wall_ms: f64,
+    /// End-to-end wall time of the parallel pass, milliseconds.
+    pub parallel_wall_ms: f64,
+    /// `serial_wall_ms / parallel_wall_ms`.
+    pub speedup: f64,
+    /// Per-workload phase timings from the serial pass.
+    pub workloads: Vec<WorkloadBench>,
+}
+
+impl BenchReport {
+    /// Serialize to a JSON object (the `BENCH_repro.json` schema).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"scale\":{},", json_string(&format!("{:?}", self.scale))));
+        s.push_str(&format!("\"jobs\":{},", self.jobs));
+        s.push_str(&format!("\"host_cores\":{},", self.host_cores));
+        s.push_str(&format!("\"serial_wall_ms\":{:.3},", self.serial_wall_ms));
+        s.push_str(&format!("\"parallel_wall_ms\":{:.3},", self.parallel_wall_ms));
+        s.push_str(&format!("\"speedup\":{:.3},", self.speedup));
+        s.push_str("\"workloads\":[");
+        for (i, w) in self.workloads.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":{},\"prep_ms\":{:.3},\"sim_ms\":{:.3},\
+                 \"instructions\":{},\"sim_instructions_per_sec\":{:.0}}}",
+                json_string(&w.name),
+                w.prep_ms,
+                w.sim_ms,
+                w.instructions,
+                w.ips
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// One serial pipeline pass with per-workload phase timings.
+fn serial_pass(
+    workloads: &[Workload],
+    scale: Scale,
+) -> Result<(f64, Vec<WorkloadBench>), ExperimentError> {
+    let pass = Instant::now();
+    let mut per = Vec::with_capacity(workloads.len());
+    for &w in workloads {
+        let t = Instant::now();
+        let h = Harness::new(w, scale)?;
+        let prep_ms = ms(t);
+        let t = Instant::now();
+        let mut instructions = 0;
+        for mode in BENCH_MODES {
+            instructions += h.run(mode)?.instructions;
+        }
+        let sim_ms = ms(t);
+        per.push(WorkloadBench {
+            name: w.name.to_string(),
+            prep_ms,
+            sim_ms,
+            instructions,
+            ips: instructions as f64 / (sim_ms / 1e3).max(1e-9),
+        });
+    }
+    Ok((ms(pass), per))
+}
+
+/// One parallel pipeline pass (prepare fan-out, then mode fan-out).
+fn parallel_pass(workloads: &[Workload], scale: Scale) -> Result<f64, ExperimentError> {
+    let pass = Instant::now();
+    let harnesses = Harness::prepare_all(workloads, scale)?;
+    let pairs: Vec<(usize, Mode)> = (0..harnesses.len())
+        .flat_map(|i| BENCH_MODES.iter().map(move |&m| (i, m)))
+        .collect();
+    par::par_map(pairs, |_, (i, mode)| harnesses[i].run(mode))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ms(pass))
+}
+
+/// Run the benchmark: a serial pass (phase timings), then a parallel pass
+/// with up to `jobs` workers (0 = one per CPU).
+///
+/// # Errors
+/// Propagates harness preparation and simulation failures.
+pub fn run_bench(
+    workloads: &[Workload],
+    scale: Scale,
+    jobs: usize,
+) -> Result<BenchReport, ExperimentError> {
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    par::set_jobs(1);
+    let (serial_wall_ms, per) = serial_pass(workloads, scale)?;
+    par::set_jobs(jobs);
+    let parallel_wall_ms = parallel_pass(workloads, scale)?;
+    Ok(BenchReport {
+        scale,
+        jobs: par::jobs_for(usize::MAX),
+        host_cores,
+        serial_wall_ms,
+        parallel_wall_ms,
+        speedup: serial_wall_ms / parallel_wall_ms.max(1e-9),
+        workloads: per,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_serializes() {
+        let w = tls_workloads::by_name("ijpeg").expect("workload exists");
+        let r = run_bench(&[w], Scale::Quick, 2).expect("bench runs");
+        assert_eq!(r.workloads.len(), 1);
+        assert!(r.workloads[0].instructions > 0);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"name\":\"ijpeg\""), "{json}");
+        assert!(json.contains("\"speedup\""), "{json}");
+        par::set_jobs(0);
+    }
+}

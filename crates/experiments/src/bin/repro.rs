@@ -1,24 +1,43 @@
 //! Command-line driver for the reproduction.
 //!
 //! ```text
-//! repro <target> [--quick] [--workloads a,b,c]
+//! repro <target> [--quick] [--workloads a,b,c] [--jobs N] [--out path]
 //!
 //! targets: fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 report all
+//!          bench list
 //! ```
 //!
 //! `--quick` measures the train inputs (fast); the default measures ref.
+//! `--jobs N` caps the worker threads of the parallel fan-out (default: one
+//! per CPU; `--jobs 1` forces the serial pipeline). `--out path` writes the
+//! results as JSON in addition to the text tables on stdout: an array of
+//! table objects for figure targets, the benchmark report for `bench`
+//! (default `BENCH_repro.json` there).
 
 use std::process::ExitCode;
 
-use tls_experiments::{figures, Harness, Scale};
+use tls_experiments::{bench, figures, par, Harness, Scale, Table};
 use tls_workloads::Workload;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <fig2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|report|all|list> \
-         [--quick] [--workloads a,b,c]"
+        "usage: repro <fig2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|report|all|bench|list> \
+         [--quick] [--workloads a,b,c] [--jobs N] [--out path]"
     );
     ExitCode::FAILURE
+}
+
+fn write_out(path: &str, contents: &str) -> ExitCode {
+    match std::fs::write(path, contents) {
+        Ok(()) => {
+            eprintln!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -34,6 +53,8 @@ fn main() -> ExitCode {
     }
     let mut scale = Scale::Full;
     let mut filter: Option<Vec<String>> = None;
+    let mut jobs: usize = 0; // 0 = one worker per CPU
+    let mut out: Option<String> = None;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -44,8 +65,27 @@ fn main() -> ExitCode {
                 };
                 filter = Some(list.split(',').map(str::to_string).collect());
             }
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|n| n.parse().ok()) else {
+                    return usage();
+                };
+                jobs = n;
+            }
+            "--out" => {
+                let Some(path) = it.next() else {
+                    return usage();
+                };
+                out = Some(path.clone());
+            }
             _ => return usage(),
         }
+    }
+    par::set_jobs(jobs);
+    const FIGURE_TARGETS: [&str; 10] = [
+        "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table2", "report",
+    ];
+    if target != "all" && target != "bench" && !FIGURE_TARGETS.contains(&target.as_str()) {
+        return usage();
     }
     let workloads: Vec<Workload> = match &filter {
         None => tls_workloads::all(),
@@ -64,30 +104,53 @@ fn main() -> ExitCode {
         }
     };
 
+    if target == "bench" {
+        eprintln!(
+            "benchmarking the pipeline on {} workload(s) at {:?} scale \
+             (serial pass, then parallel)...",
+            workloads.len(),
+            scale
+        );
+        let report = match bench::run_bench(&workloads, scale, jobs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "serial {:.1} ms, parallel {:.1} ms ({} jobs, {} cores): speedup {:.2}x",
+            report.serial_wall_ms,
+            report.parallel_wall_ms,
+            report.jobs,
+            report.host_cores,
+            report.speedup
+        );
+        return write_out(out.as_deref().unwrap_or("BENCH_repro.json"), &report.to_json());
+    }
+
     eprintln!(
         "preparing {} workload(s) at {:?} scale (compile + profile + sequential baseline)...",
         workloads.len(),
         scale
     );
-    let mut harnesses = Vec::new();
-    for w in workloads {
+    for w in &workloads {
         eprintln!("  {} ({})", w.name, w.paper_name);
-        match Harness::new(w, scale) {
-            Ok(h) => harnesses.push(h),
-            Err(e) => {
-                eprintln!("failed to prepare {}: {e}", w.name);
-                return ExitCode::FAILURE;
-            }
-        }
     }
+    let harnesses = match Harness::prepare_all(&workloads, scale) {
+        Ok(hs) => hs,
+        Err(e) => {
+            eprintln!("failed to prepare workloads: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let targets: Vec<&str> = if target == "all" {
-        vec![
-            "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table2", "report",
-        ]
+        FIGURE_TARGETS.to_vec()
     } else {
         vec![target.as_str()]
     };
+    let mut tables: Vec<Table> = Vec::new();
     for t in targets {
         let table = match t {
             "fig2" => figures::fig2(&harnesses),
@@ -103,12 +166,19 @@ fn main() -> ExitCode {
             _ => return usage(),
         };
         match table {
-            Ok(t) => println!("{t}"),
+            Ok(t) => {
+                println!("{t}");
+                tables.push(t);
+            }
             Err(e) => {
                 eprintln!("{t} failed: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some(path) = out {
+        let json: Vec<String> = tables.iter().map(Table::to_json).collect();
+        return write_out(&path, &format!("[{}]", json.join(",")));
     }
     ExitCode::SUCCESS
 }

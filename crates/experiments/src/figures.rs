@@ -9,6 +9,7 @@
 use tls_profile::DIST_BUCKETS;
 
 use crate::harness::{ExperimentError, Harness, Mode};
+use crate::par;
 use crate::report::{f2, pct, Table};
 
 fn bar_cells(h: &Harness, mode: Mode) -> Result<Vec<String>, ExperimentError> {
@@ -25,6 +26,23 @@ fn bar_cells(h: &Harness, mode: Mode) -> Result<Vec<String>, ExperimentError> {
     ])
 }
 
+/// Fan one row-producing closure out over every (harness, mode) pair; rows
+/// come back in (harness, mode) order, so the rendered table is identical
+/// to a serial run. The first error in that order is reported, also
+/// matching serial behavior.
+fn run_pairs<R: Send>(
+    harnesses: &[Harness],
+    modes: &[Mode],
+    f: impl Fn(&Harness, Mode) -> Result<R, ExperimentError> + Sync,
+) -> Result<Vec<R>, ExperimentError> {
+    let pairs: Vec<(usize, Mode)> = (0..harnesses.len())
+        .flat_map(|i| modes.iter().map(move |&m| (i, m)))
+        .collect();
+    par::par_map(pairs, |_, (i, mode)| f(&harnesses[i], mode))
+        .into_iter()
+        .collect()
+}
+
 fn bars_table(
     title: &str,
     harnesses: &[Harness],
@@ -34,14 +52,15 @@ fn bars_table(
         title,
         &["bench", "bar", "time", "busy", "fail", "sync", "other", "violations"],
     );
-    for h in harnesses {
-        for (k, &mode) in modes.iter().enumerate() {
+    let rows = run_pairs(harnesses, modes, bar_cells)?;
+    for (h, chunk) in harnesses.iter().zip(rows.chunks(modes.len())) {
+        for (k, body) in chunk.iter().enumerate() {
             let mut cells = vec![if k == 0 {
                 h.workload.name.to_string()
             } else {
                 String::new()
             }];
-            cells.extend(bar_cells(h, mode)?);
+            cells.extend(body.iter().cloned());
             t.row(cells);
         }
     }
@@ -162,35 +181,36 @@ pub fn fig11(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
         "Figure 11: violating loads by would-be-synchronizing scheme",
         &["bench", "mode", "neither", "C-only", "H-only", "both", "total"],
     );
-    let modes = [
-        (false, false),
-        (true, false),
-        (false, true),
-        (true, true),
-    ];
-    for h in harnesses {
-        for (k, &(sc, sh)) in modes.iter().enumerate() {
-            let mode = Mode::Marking {
-                stall_compiler: sc,
-                stall_hardware: sh,
-            };
-            let r = h.run(mode)?;
-            let cls = r.violation_class_totals();
-            let get = |c: VC| cls.get(&c).copied().unwrap_or(0);
-            let total: u64 = cls.values().sum();
-            t.row(vec![
-                if k == 0 {
-                    h.workload.name.to_string()
-                } else {
-                    String::new()
-                },
-                mode.label(),
-                get(VC::Neither).to_string(),
-                get(VC::CompilerOnly).to_string(),
-                get(VC::HardwareOnly).to_string(),
-                get(VC::Both).to_string(),
-                total.to_string(),
-            ]);
+    let modes: Vec<Mode> = [(false, false), (true, false), (false, true), (true, true)]
+        .into_iter()
+        .map(|(sc, sh)| Mode::Marking {
+            stall_compiler: sc,
+            stall_hardware: sh,
+        })
+        .collect();
+    let rows = run_pairs(harnesses, &modes, |h, mode| {
+        let r = h.run(mode)?;
+        let cls = r.violation_class_totals();
+        let get = |c: VC| cls.get(&c).copied().unwrap_or(0);
+        let total: u64 = cls.values().sum();
+        Ok(vec![
+            mode.label(),
+            get(VC::Neither).to_string(),
+            get(VC::CompilerOnly).to_string(),
+            get(VC::HardwareOnly).to_string(),
+            get(VC::Both).to_string(),
+            total.to_string(),
+        ])
+    })?;
+    for (h, chunk) in harnesses.iter().zip(rows.chunks(modes.len())) {
+        for (k, body) in chunk.iter().enumerate() {
+            let mut cells = vec![if k == 0 {
+                h.workload.name.to_string()
+            } else {
+                String::new()
+            }];
+            cells.extend(body.iter().cloned());
+            t.row(cells);
         }
     }
     Ok(t)
@@ -203,19 +223,14 @@ pub fn fig12(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
         "Figure 12: program speedup over sequential (U / C / H / B)",
         &["bench", "coverage", "U", "C", "H", "B"],
     );
-    for h in harnesses {
-        let mut cells = vec![h.workload.name.to_string(), String::new()];
-        for (i, mode) in [Mode::Unsync, Mode::CompilerRef, Mode::HwSync, Mode::Hybrid]
-            .into_iter()
-            .enumerate()
-        {
-            let r = h.run(mode)?;
-            let s = h.program_stats(mode, &r);
-            if i == 0 {
-                cells[1] = pct(s.coverage);
-            }
-            cells.push(f2(s.program_speedup));
-        }
+    let modes = [Mode::Unsync, Mode::CompilerRef, Mode::HwSync, Mode::Hybrid];
+    let stats = run_pairs(harnesses, &modes, |h, mode| {
+        let r = h.run(mode)?;
+        Ok(h.program_stats(mode, &r))
+    })?;
+    for (h, chunk) in harnesses.iter().zip(stats.chunks(modes.len())) {
+        let mut cells = vec![h.workload.name.to_string(), pct(chunk[0].coverage)];
+        cells.extend(chunk.iter().map(|s| f2(s.program_speedup)));
         t.row(cells);
     }
     Ok(t)
@@ -237,11 +252,13 @@ pub fn table2(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
             "program C",
         ],
     );
-    for h in harnesses {
-        let rb = h.run(Mode::Hybrid)?;
-        let rc = h.run(Mode::CompilerRef)?;
-        let sb = h.program_stats(Mode::Hybrid, &rb);
-        let sc = h.program_stats(Mode::CompilerRef, &rc);
+    let modes = [Mode::Hybrid, Mode::CompilerRef];
+    let stats = run_pairs(harnesses, &modes, |h, mode| {
+        let r = h.run(mode)?;
+        Ok(h.program_stats(mode, &r))
+    })?;
+    for (h, chunk) in harnesses.iter().zip(stats.chunks(modes.len())) {
+        let (sb, sc) = (&chunk[0], &chunk[1]);
         t.row(vec![
             h.workload.name.to_string(),
             pct(sb.coverage),
@@ -266,8 +283,8 @@ pub fn compiler_report(harnesses: &[Harness]) -> Result<Table, ExperimentError> 
             "clones", "growth", "sigbuf",
         ],
     );
-    for h in harnesses {
-        let r = h.run(Mode::CompilerRef)?;
+    let runs = run_pairs(harnesses, &[Mode::CompilerRef], |h, mode| h.run(mode))?;
+    for (h, r) in harnesses.iter().zip(&runs) {
         let rep = &h.set_c.report;
         let unrolls: Vec<String> = h.set_c.regions.iter().map(|r| r.unroll.to_string()).collect();
         t.row(vec![

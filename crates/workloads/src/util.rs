@@ -11,14 +11,39 @@
 //!   (non-parallelized) portion of each benchmark and thereby its region
 //!   coverage.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use tls_ir::{BinOp, BlockId, FuncBuilder, Operand, Var};
 
 use crate::InputSet;
 
+/// Deterministic splitmix64 generator (Steele et al., "Fast splittable
+/// pseudorandom number generators"). Self-contained so the workspace has no
+/// external dependency — input data must be reproducible across toolchains
+/// anyway, which rules out tracking a third-party RNG's stream.
+pub(crate) struct Prng(u64);
+
+impl Prng {
+    pub(crate) fn seed_from_u64(seed: u64) -> Self {
+        Prng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `lo..hi` (modulo bias is negligible for the small
+    /// ranges the workloads use).
+    fn gen_range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+}
+
 /// Deterministic RNG for a workload/input pair.
-pub(crate) fn rng(tag: &str, input: InputSet) -> SmallRng {
+pub(crate) fn rng(tag: &str, input: InputSet) -> Prng {
     let mut seed = match input {
         InputSet::Train => 0x5EED_7EA1_u64,
         InputSet::Ref => 0x0DD_C0FFEE_u64,
@@ -26,12 +51,12 @@ pub(crate) fn rng(tag: &str, input: InputSet) -> SmallRng {
     for b in tag.bytes() {
         seed = seed.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
     }
-    SmallRng::seed_from_u64(seed)
+    Prng::seed_from_u64(seed)
 }
 
 /// `n` pseudo-random values in `lo..hi`.
-pub(crate) fn input_data(r: &mut SmallRng, n: usize, lo: i64, hi: i64) -> Vec<i64> {
-    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+pub(crate) fn input_data(r: &mut Prng, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    (0..n).map(|_| r.gen_range(lo, hi)).collect()
 }
 
 /// Handles of a counted region loop under construction.

