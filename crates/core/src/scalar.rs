@@ -123,6 +123,53 @@ pub fn insert_scalar_sync(
     }
 
     // --- wait/signal for the remaining carried scalars --------------------
+    // Early signals are collected first and inserted afterwards in
+    // descending position order: `defs_of` indices refer to the original
+    // blocks, and inserting while iterating would shift the recorded
+    // position of any later definition in the same block, placing its
+    // signal *before* the definition (forwarding the previous epoch's
+    // value — a correctness bug, not a scheduling detail).
+    let dom_of = {
+        let f = module.func(func);
+        let cfg = Cfg::new(f);
+        Dominators::new(f, &cfg)
+    };
+    // Blocks that can re-execute within a single epoch: members of a cycle
+    // in the loop body that avoids the region header (an inner loop). A
+    // consumer epoch consumes exactly one signal per channel, so the first
+    // signal must carry the final value — a signal placed after a
+    // definition inside an inner loop fires once per inner iteration with
+    // a value that is still being updated. Such definitions keep the
+    // latch-signal schedule.
+    let in_nested_cycle: HashSet<BlockId> = {
+        let f = module.func(func);
+        let mut nested = HashSet::new();
+        for &b in loop_blocks {
+            if b == header {
+                continue;
+            }
+            let mut stack: Vec<BlockId> = f
+                .block(b)
+                .successors()
+                .into_iter()
+                .filter(|s| in_loop.contains(s) && *s != header)
+                .collect();
+            let mut seen: HashSet<BlockId> = stack.iter().copied().collect();
+            while let Some(x) = stack.pop() {
+                if x == b {
+                    nested.insert(b);
+                    break;
+                }
+                for s in f.block(x).successors() {
+                    if in_loop.contains(&s) && s != header && seen.insert(s) {
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+        nested
+    };
+    let mut early_signals: Vec<(BlockId, usize, Instr)> = Vec::new();
     for &v in &synced {
         let chan = module.fresh_chan();
         result.channels += 1;
@@ -141,25 +188,20 @@ pub fn insert_scalar_sync(
         let defs = &defs_of[v.index()];
         let single_def = defs.len() == 1;
         let mut covered_latches: HashSet<BlockId> = HashSet::new();
-        if schedule_signals && single_def {
+        if schedule_signals && single_def && !in_nested_cycle.contains(&defs[0].0) {
             let (db, di) = defs[0];
             // Early signal right after the unique definition.
-            insert_instr(
-                module,
-                func,
+            early_signals.push((
                 db,
                 di + 1,
                 Instr::SignalScalar {
                     chan,
                     val: Operand::Var(v),
                 },
-            );
+            ));
             // Latches dominated by the definition need no second signal.
-            let f = module.func(func);
-            let cfg = Cfg::new(f);
-            let dom = Dominators::new(f, &cfg);
             for &l in &latches {
-                if dom.dominates(db, l) {
+                if dom_of.dominates(db, l) {
                     covered_latches.insert(l);
                 }
             }
@@ -177,6 +219,10 @@ pub fn insert_scalar_sync(
                 );
             }
         }
+    }
+    early_signals.sort_by_key(|&(b, i, _)| std::cmp::Reverse((b.index(), i)));
+    for (b, i, instr) in early_signals {
+        insert_instr(module, func, b, i, instr);
     }
 
     // Prepend the header batch (privatization first, then waits).

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! repro <target> [--quick] [--workloads a,b,c] [--jobs N] [--out path]
+//! repro fuzz [--seed S] [--iters N] [--jobs N] [--break-forwarding]
+//!            [--replay path] [--artifacts dir]
 //!
 //! targets: fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 report all
-//!          bench list
+//!          bench list fuzz
 //! ```
 //!
 //! `--quick` measures the train inputs (fast); the default measures ref.
@@ -13,18 +15,113 @@
 //! results as JSON in addition to the text tables on stdout: an array of
 //! table objects for figure targets, the benchmark report for `bench`
 //! (default `BENCH_repro.json` there).
+//!
+//! `fuzz` runs the differential fuzzer: `--iters N` seeds starting at
+//! `--seed S`, each generated program checked across the full mode matrix
+//! against the sequential interpreter. Failures are shrunk and written
+//! under `--artifacts dir` (default `results/fuzz`). `--break-forwarding`
+//! injects the forwarded-value recovery fault (the harness must then report
+//! mismatches — a self-test of the fuzzer). `--replay path` re-checks a
+//! previously written artifact instead of generating programs.
 
 use std::process::ExitCode;
 
-use tls_experiments::{bench, figures, par, Harness, Scale, Table};
+use tls_experiments::{bench, figures, fuzz, par, Harness, Scale, Table};
 use tls_workloads::Workload;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|report|all|bench|list> \
-         [--quick] [--workloads a,b,c] [--jobs N] [--out path]"
+         [--quick] [--workloads a,b,c] [--jobs N] [--out path]\n\
+         \x20      repro fuzz [--seed S] [--iters N] [--jobs N] [--break-forwarding] \
+         [--replay path] [--artifacts dir]"
     );
     ExitCode::FAILURE
+}
+
+fn run_fuzz_cmd(args: &[String]) -> ExitCode {
+    let mut seed: u64 = 1;
+    let mut iters: u64 = 1000;
+    let mut jobs: usize = 0;
+    let mut cfg = fuzz::FuzzConfig::default();
+    let mut replay: Option<String> = None;
+    let mut artifacts = String::from("results/fuzz");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--iters" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => iters = n,
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return usage(),
+            },
+            "--break-forwarding" => cfg.break_forwarded_recovery = true,
+            "--replay" => match it.next() {
+                Some(p) => replay = Some(p.clone()),
+                None => return usage(),
+            },
+            "--artifacts" => match it.next() {
+                Some(p) => artifacts = p.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    par::set_jobs(jobs);
+    if let Some(path) = replay {
+        return match fuzz::replay(std::path::Path::new(&path), &cfg) {
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+            Ok(Ok(stats)) => {
+                println!(
+                    "replay passed: {} region(s), {} sync load(s), {} violation(s)",
+                    stats.regions, stats.sync_loads, stats.violations
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(Err(f)) => {
+                println!("replay still fails: {f}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    eprintln!(
+        "fuzzing {iters} seed(s) from {seed} across {} modes{}...",
+        fuzz::ALL_MODES.len(),
+        if cfg.break_forwarded_recovery {
+            " with the forwarded-recovery fault injected"
+        } else {
+            ""
+        }
+    );
+    let report = fuzz::run_fuzz(seed, iters, &cfg, Some(std::path::Path::new(&artifacts)));
+    println!("{}", report.summary());
+    for f in &report.failures {
+        println!(
+            "  seed {}: {} ({} -> {} instrs){}",
+            f.seed,
+            f.failure,
+            f.original_instrs,
+            f.minimized.static_instr_count(),
+            f.artifact
+                .as_deref()
+                .map(|p| format!(", artifact {p}"))
+                .unwrap_or_default()
+        );
+    }
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn write_out(path: &str, contents: &str) -> ExitCode {
@@ -50,6 +147,9 @@ fn main() -> ExitCode {
             println!("{:<14} {:<20} {}", w.name, w.paper_name, w.pattern);
         }
         return ExitCode::SUCCESS;
+    }
+    if target == "fuzz" {
+        return run_fuzz_cmd(&args[1..]);
     }
     let mut scale = Scale::Full;
     let mut filter: Option<Vec<String>> = None;
@@ -81,10 +181,7 @@ fn main() -> ExitCode {
         }
     }
     par::set_jobs(jobs);
-    const FIGURE_TARGETS: [&str; 10] = [
-        "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table2", "report",
-    ];
-    if target != "all" && target != "bench" && !FIGURE_TARGETS.contains(&target.as_str()) {
+    if target != "all" && target != "bench" && !figures::TARGETS.contains(&target.as_str()) {
         return usage();
     }
     let workloads: Vec<Workload> = match &filter {
@@ -146,24 +243,14 @@ fn main() -> ExitCode {
     };
 
     let targets: Vec<&str> = if target == "all" {
-        FIGURE_TARGETS.to_vec()
+        figures::TARGETS.to_vec()
     } else {
         vec![target.as_str()]
     };
     let mut tables: Vec<Table> = Vec::new();
     for t in targets {
-        let table = match t {
-            "fig2" => figures::fig2(&harnesses),
-            "fig6" => figures::fig6(&harnesses),
-            "fig7" => figures::fig7(&harnesses),
-            "fig8" => figures::fig8(&harnesses),
-            "fig9" => figures::fig9(&harnesses),
-            "fig10" => figures::fig10(&harnesses),
-            "fig11" => figures::fig11(&harnesses),
-            "fig12" => figures::fig12(&harnesses),
-            "table2" => figures::table2(&harnesses),
-            "report" => figures::compiler_report(&harnesses),
-            _ => return usage(),
+        let Some(table) = figures::by_name(t, &harnesses) else {
+            return usage();
         };
         match table {
             Ok(t) => {

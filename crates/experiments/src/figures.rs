@@ -56,7 +56,7 @@ fn bars_table(
     for (h, chunk) in harnesses.iter().zip(rows.chunks(modes.len())) {
         for (k, body) in chunk.iter().enumerate() {
             let mut cells = vec![if k == 0 {
-                h.workload.name.to_string()
+                h.name.clone()
             } else {
                 String::new()
             }];
@@ -124,7 +124,7 @@ pub fn fig7(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
             }
         }
         let total: u64 = hist.iter().sum();
-        let mut row = vec![h.workload.name.to_string()];
+        let mut row = vec![h.name.clone()];
         for n in hist {
             row.push(if total == 0 {
                 "-".into()
@@ -205,7 +205,7 @@ pub fn fig11(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
     for (h, chunk) in harnesses.iter().zip(rows.chunks(modes.len())) {
         for (k, body) in chunk.iter().enumerate() {
             let mut cells = vec![if k == 0 {
-                h.workload.name.to_string()
+                h.name.clone()
             } else {
                 String::new()
             }];
@@ -229,7 +229,7 @@ pub fn fig12(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
         Ok(h.program_stats(mode, &r))
     })?;
     for (h, chunk) in harnesses.iter().zip(stats.chunks(modes.len())) {
-        let mut cells = vec![h.workload.name.to_string(), pct(chunk[0].coverage)];
+        let mut cells = vec![h.name.clone(), pct(chunk[0].coverage)];
         cells.extend(chunk.iter().map(|s| f2(s.program_speedup)));
         t.row(cells);
     }
@@ -260,7 +260,7 @@ pub fn table2(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
     for (h, chunk) in harnesses.iter().zip(stats.chunks(modes.len())) {
         let (sb, sc) = (&chunk[0], &chunk[1]);
         t.row(vec![
-            h.workload.name.to_string(),
+            h.name.clone(),
             pct(sb.coverage),
             f2(sb.region_speedup),
             f2(sc.region_speedup),
@@ -288,7 +288,7 @@ pub fn compiler_report(harnesses: &[Harness]) -> Result<Table, ExperimentError> 
         let rep = &h.set_c.report;
         let unrolls: Vec<String> = h.set_c.regions.iter().map(|r| r.unroll.to_string()).collect();
         t.row(vec![
-            h.workload.name.to_string(),
+            h.name.clone(),
             h.set_c.regions.len().to_string(),
             unrolls.join("/"),
             rep.scalar_channels.to_string(),
@@ -302,6 +302,35 @@ pub fn compiler_report(harnesses: &[Harness]) -> Result<Table, ExperimentError> 
         ]);
     }
     Ok(t)
+}
+
+/// Every figure/table target, in presentation order — the `repro` driver's
+/// CLI names and the golden-snapshot corpus both index this list.
+pub const TARGETS: [&str; 10] = [
+    "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table2", "report",
+];
+
+/// Render the target with the given CLI name, or `None` if unknown.
+///
+/// # Errors
+/// Whatever the target's driver reports.
+pub fn by_name(
+    target: &str,
+    harnesses: &[Harness],
+) -> Option<Result<Table, ExperimentError>> {
+    Some(match target {
+        "fig2" => fig2(harnesses),
+        "fig6" => fig6(harnesses),
+        "fig7" => fig7(harnesses),
+        "fig8" => fig8(harnesses),
+        "fig9" => fig9(harnesses),
+        "fig10" => fig10(harnesses),
+        "fig11" => fig11(harnesses),
+        "fig12" => fig12(harnesses),
+        "table2" => table2(harnesses),
+        "report" => compiler_report(harnesses),
+        _ => return None,
+    })
 }
 
 #[cfg(test)]

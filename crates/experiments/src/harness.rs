@@ -98,12 +98,15 @@ pub enum ExperimentError {
     Sim(SimError),
     /// Oracle recording failed.
     Oracle(ExecError),
-    /// A TLS run produced output different from sequential execution.
+    /// A TLS run produced architectural results (output stream, return
+    /// value or final memory) different from sequential execution.
     WrongOutput {
-        /// Workload name.
+        /// Workload or program name.
         workload: String,
         /// Mode label.
         mode: String,
+        /// First divergence found.
+        detail: String,
     },
 }
 
@@ -113,8 +116,15 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Compile(e) => write!(f, "compilation failed: {e}"),
             ExperimentError::Sim(e) => write!(f, "simulation failed: {e}"),
             ExperimentError::Oracle(e) => write!(f, "oracle recording failed: {e}"),
-            ExperimentError::WrongOutput { workload, mode } => {
-                write!(f, "{workload}/{mode}: TLS output diverged from sequential")
+            ExperimentError::WrongOutput {
+                workload,
+                mode,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "{workload}/{mode}: TLS diverged from sequential: {detail}"
+                )
             }
         }
     }
@@ -140,16 +150,31 @@ impl From<ExecError> for ExperimentError {
     }
 }
 
-/// One workload, compiled and ready to run under any [`Mode`].
+/// One program, compiled and ready to run under any [`Mode`].
+///
+/// Built either from a [`Workload`] ([`Harness::new`]) or from arbitrary
+/// modules ([`Harness::from_modules`] — the differential fuzzer's entry
+/// point for generated programs).
 pub struct Harness {
-    /// The workload.
-    pub workload: Workload,
+    /// Program name (the workload name, or whatever `from_modules` was
+    /// given) — used in reports and error messages.
+    pub name: String,
     /// Compilation with the measurement-input profile (`C`).
     pub set_c: CompilationSet,
     /// Compilation with the train-input profile (`T`).
     pub set_t: CompilationSet,
     /// Sequential baseline result (region and program times).
     pub seq: SimResult,
+    /// Mode-independent base machine configuration. [`Harness::run`] layers
+    /// each mode's policy knobs over a clone of this; the fuzzer uses it to
+    /// cap `max_steps` and to inject test-only faults.
+    pub base: SimConfig,
+    /// Word addresses holding compiler-introduced synchronization scratch
+    /// (the `__tls_flag_*` globals the memory-sync pass appends past the
+    /// original program's globals). These are memory-resident communication
+    /// state, not program data, so the architectural memory comparison
+    /// skips them.
+    pub scratch: std::ops::Range<i64>,
     oracle_u: ValueOracle,
     oracle_c: ValueOracle,
 }
@@ -174,22 +199,50 @@ impl Harness {
             Scale::Quick => workload.module(InputSet::Train),
             Scale::Full => workload.module(InputSet::Ref),
         };
-        let set_c = compile_all(&measure, &measure, opts)?;
-        let set_t = match scale {
+        let train = match scale {
             // At quick scale the measurement input *is* the train input, so
             // the `T` compilation would be bit-identical to `C`: reuse it
             // instead of profiling and compiling a second time.
-            Scale::Quick => set_c.clone(),
-            Scale::Full => compile_all(&measure, &workload.module(InputSet::Train), opts)?,
+            Scale::Quick => None,
+            Scale::Full => Some(workload.module(InputSet::Train)),
+        };
+        Self::from_modules(workload.name, &measure, train.as_ref(), opts)
+    }
+
+    /// Compile an arbitrary program (plus an optional train-input variant of
+    /// the same program for the profile-on-train modes) and run the
+    /// sequential baseline. `None` for `train` reuses the measurement
+    /// profile, exactly like [`Scale::Quick`].
+    ///
+    /// # Errors
+    /// Propagates compilation, oracle and simulation failures.
+    pub fn from_modules(
+        name: impl Into<String>,
+        measure: &tls_ir::Module,
+        train: Option<&tls_ir::Module>,
+        opts: &CompileOptions,
+    ) -> Result<Self, ExperimentError> {
+        let set_c = compile_all(measure, measure, opts)?;
+        let set_t = match train {
+            None => set_c.clone(),
+            Some(t) => compile_all(measure, t, opts)?,
         };
         let oracle_u = record_oracle(&set_c.unsync)?;
         let oracle_c = record_oracle(&set_c.synced)?;
         let seq = Machine::new(&set_c.seq, SimConfig::sequential()).run()?;
+        let scratch_end = [&set_c.unsync, &set_c.synced, &set_t.synced]
+            .iter()
+            .map(|m| m.globals_end)
+            .max()
+            .unwrap_or(set_c.seq.globals_end)
+            .max(set_c.seq.globals_end);
         Ok(Self {
-            workload,
+            name: name.into(),
+            scratch: set_c.seq.globals_end..scratch_end,
             set_c,
             set_t,
             seq,
+            base: SimConfig::cgo2004(),
             oracle_u,
             oracle_c,
         })
@@ -207,15 +260,22 @@ impl Harness {
             .collect()
     }
 
-    /// Execute one mode and verify output correctness against sequential.
+    /// Execute one mode and verify the architectural results (output
+    /// stream, return value, final memory) against sequential execution.
     ///
     /// # Errors
     /// Propagates simulation failures; returns
-    /// [`ExperimentError::WrongOutput`] if the TLS output diverges.
+    /// [`ExperimentError::WrongOutput`] if the TLS run diverges.
     pub fn run(&self, mode: Mode) -> Result<SimResult, ExperimentError> {
-        let base = SimConfig::cgo2004();
+        let base = self.base.clone();
         let result = match mode {
-            Mode::Seq => Machine::new(&self.set_c.seq, SimConfig::sequential()).run()?,
+            Mode::Seq => {
+                let cfg = SimConfig {
+                    parallelize: false,
+                    ..base
+                };
+                Machine::new(&self.set_c.seq, cfg).run()?
+            }
             Mode::Unsync => Machine::new(&self.set_c.unsync, base).run()?,
             Mode::OracleAll => {
                 let cfg = SimConfig {
@@ -295,13 +355,51 @@ impl Harness {
                 Machine::new(&self.set_c.unsync, cfg).run()?
             }
         };
-        if result.output != self.seq.output {
+        if let Some(detail) = self.check(&result) {
             return Err(ExperimentError::WrongOutput {
-                workload: self.workload.name.to_string(),
+                workload: self.name.clone(),
                 mode: mode.label(),
+                detail,
             });
         }
         Ok(result)
+    }
+
+    /// Compare a run's architectural results against the sequential
+    /// baseline; `Some(description)` of the first divergence, `None` on an
+    /// exact match.
+    fn check(&self, result: &SimResult) -> Option<String> {
+        if result.output != self.seq.output {
+            let i = self
+                .seq
+                .output
+                .iter()
+                .zip(&result.output)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| self.seq.output.len().min(result.output.len()));
+            return Some(format!(
+                "output diverges at index {i}: sequential {:?} vs TLS {:?} \
+                 (lengths {} vs {})",
+                self.seq.output.get(i),
+                result.output.get(i),
+                self.seq.output.len(),
+                result.output.len()
+            ));
+        }
+        if result.ret != self.seq.ret {
+            return Some(format!(
+                "return value: sequential {} vs TLS {}",
+                self.seq.ret, result.ret
+            ));
+        }
+        if let Some((addr, seq, tls)) =
+            self.seq.memory.first_diff_outside(&result.memory, &self.scratch)
+        {
+            return Some(format!(
+                "memory diverges at word {addr}: sequential {seq} vs TLS {tls}"
+            ));
+        }
+        None
     }
 
     /// Build the normalized region bar for a mode's result (Figures 2, 6,

@@ -30,6 +30,7 @@
 
 pub mod bench;
 pub mod figures;
+pub mod fuzz;
 mod harness;
 pub mod par;
 mod report;

@@ -1,0 +1,487 @@
+//! Seeded random TLS program generator for the differential fuzzer.
+//!
+//! [`generate`] builds a well-formed, always-terminating [`Module`] from a
+//! seed: nested counted loops (the speculative-region candidates), helper
+//! calls, data-dependent diamonds, and loads/stores whose aliasing density,
+//! dependence distance and cross-epoch frequency are drawn from the
+//! controllable distributions in [`GenConfig`]. The module uses only plain
+//! instructions — the compiler pipeline (`tls-core`) is what inserts the
+//! TLS intrinsics, so the fuzzer exercises the real synchronization
+//! insertion, not hand-written sync.
+//!
+//! Termination is guaranteed by construction: every loop is a counted loop
+//! whose counter register is reserved (never the target of a random
+//! statement) and whose bound is a constant, and helper functions are
+//! straight-line and call nothing. This holds even for *doomed* speculative
+//! epochs running on wrong data, because loop control never depends on
+//! loaded values.
+
+use crate::builder::{FuncBuilder, ModuleBuilder};
+use crate::ids::{FuncId, GlobalId, Var};
+use crate::instr::{BinOp, Operand};
+use crate::module::Module;
+use crate::rng::SplitMix64;
+
+/// Words in the `arr` global (a power of two: indices are masked into it).
+const ARR_WORDS: i64 = 32;
+/// Words in the `shared` global (two cache lines of hot slots).
+const SHARED_WORDS: i64 = 8;
+/// General-purpose registers the random statements read and write.
+const POOL_VARS: usize = 6;
+
+/// Distribution knobs for the random program generator.
+///
+/// All `(lo, hi)` ranges are inclusive. Probabilities are clamped to
+/// `0.0..=1.0` by the underlying RNG.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Maximum number of straight-line helper functions (0 disables calls).
+    pub helper_funcs: u32,
+    /// Top-level candidate region loops emitted in `main`.
+    pub region_loops: (u32, u32),
+    /// Trip count of each top-level loop (each iteration becomes an epoch).
+    pub outer_trips: (i64, i64),
+    /// Trip count of nested inner loops.
+    pub inner_trips: (i64, i64),
+    /// Straight-line statements per generated block.
+    pub body_stmts: (u32, u32),
+    /// Probability that a statement is a memory access.
+    pub mem_density: f64,
+    /// Fraction of memory accesses that are stores.
+    pub store_frac: f64,
+    /// Probability that a memory access targets the hot `shared` slots
+    /// (high inter-epoch aliasing) rather than the indexed `arr`.
+    pub alias_density: f64,
+    /// Dependence distance (in epochs) of loop-carried `arr` accesses.
+    pub dep_distance: (i64, i64),
+    /// Probability that an `arr` access is loop-carried (offset by
+    /// ±distance from this epoch's slot) rather than private.
+    pub cross_epoch: f64,
+    /// Probability that a top-level loop is *memory-only*: its body defines
+    /// no pool register, so no scalar is carried besides the (privatized)
+    /// counter and the epochs run fully overlapped. These loops exercise
+    /// violation detection and squash recovery; all others serialize on
+    /// their scalar channels.
+    pub mem_loop_prob: f64,
+    /// Probability of a data-dependent diamond in a loop body.
+    pub branch_prob: f64,
+    /// Probability of a nested inner loop in a top-level loop body.
+    pub inner_loop_prob: f64,
+    /// Probability of a helper call in a top-level loop body.
+    pub call_prob: f64,
+    /// Probability that a statement emits to the observable output stream.
+    pub output_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            helper_funcs: 2,
+            region_loops: (1, 2),
+            outer_trips: (4, 12),
+            inner_trips: (2, 4),
+            body_stmts: (3, 8),
+            mem_density: 0.45,
+            store_frac: 0.45,
+            alias_density: 0.3,
+            dep_distance: (1, 3),
+            cross_epoch: 0.5,
+            mem_loop_prob: 0.35,
+            branch_prob: 0.35,
+            inner_loop_prob: 0.3,
+            call_prob: 0.3,
+            output_prob: 0.08,
+        }
+    }
+}
+
+/// Generate a module from `seed`.
+///
+/// The program *structure* depends only on `seed` and `cfg`; the initial
+/// data in the globals additionally depends on `data_salt`, so
+/// `generate(s, c, 0)` and `generate(s, c, 1)` are the same program on
+/// different inputs — the ref/train pair the profile-on-train modes need.
+///
+/// The result is not validated here: the fuzzer's check (c) runs
+/// [`crate::validate`] on every generated module, so a generator bug
+/// surfaces as a fuzz failure instead of being masked by a panic.
+pub fn generate(seed: u64, cfg: &GenConfig, data_salt: u64) -> Module {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    // Forking consumes one structure value regardless of the salt, so the
+    // structure stream is identical across salts.
+    let mut data = rng.fork(0x5EED_DA7A ^ data_salt);
+
+    let mut mb = ModuleBuilder::new();
+    let shared = mb.add_global(
+        "shared",
+        SHARED_WORDS as u64,
+        (0..SHARED_WORDS).map(|_| data.gen_range(-64, 64)).collect(),
+    );
+    let arr = mb.add_global(
+        "arr",
+        ARR_WORDS as u64,
+        (0..ARR_WORDS).map(|_| data.gen_range(-256, 256)).collect(),
+    );
+
+    let n_helpers = rng.gen_range(0, cfg.helper_funcs as i64 + 1) as usize;
+    let helpers: Vec<FuncId> = (0..n_helpers)
+        .map(|i| mb.declare(format!("helper{i}"), 1))
+        .collect();
+    let main = mb.declare("main", 0);
+
+    let mut gen = Gen {
+        rng,
+        data,
+        cfg,
+        shared,
+        arr,
+        helpers: helpers.clone(),
+        pool: Vec::new(),
+        inds: Vec::new(),
+        addr: Var(0),
+        scratch: Var(0),
+    };
+
+    for &h in &helpers {
+        let mut fb = mb.define(h);
+        gen.begin_func(&mut fb, true);
+        let n = gen.stmt_count();
+        gen.emit_stmts(&mut fb, n, false);
+        let rv = gen.pool[gen.rng.pick(gen.pool.len())];
+        fb.ret(Some(Operand::Var(rv)));
+        fb.finish();
+        gen.inds.clear();
+    }
+
+    let mut fb = mb.define(main);
+    gen.begin_func(&mut fb, false);
+    // Prologue: seed the register pool with data-dependent values.
+    for v in gen.pool.clone() {
+        let c = gen.data.gen_range(-100, 100);
+        fb.assign(v, c);
+    }
+    let n_loops = gen
+        .rng
+        .gen_range(cfg.region_loops.0 as i64, cfg.region_loops.1 as i64 + 1);
+    for li in 0..n_loops {
+        let trip = gen.rng.gen_range(cfg.outer_trips.0, cfg.outer_trips.1 + 1);
+        gen.emit_loop(&mut fb, &format!("outer{li}"), trip, 0);
+    }
+    gen.emit_checksum(&mut fb);
+    let acc = gen.pool[0];
+    fb.ret(Some(Operand::Var(acc)));
+    fb.finish();
+
+    mb.set_entry(main);
+    mb.build_unchecked()
+}
+
+/// Working state threaded through the emitters.
+struct Gen<'a> {
+    rng: SplitMix64,
+    data: SplitMix64,
+    cfg: &'a GenConfig,
+    shared: GlobalId,
+    arr: GlobalId,
+    helpers: Vec<FuncId>,
+    /// General-purpose registers; random statements read and write these.
+    pool: Vec<Var>,
+    /// Active loop counters, innermost last. Never written by statements.
+    inds: Vec<Var>,
+    /// Scratch register for address computations.
+    addr: Var,
+    /// Scratch register for memory-only loop bodies; always defined (by a
+    /// load) before it is used, so it is never live into a loop header.
+    scratch: Var,
+}
+
+impl Gen<'_> {
+    /// Allocate the per-function register pool (and treat a helper's
+    /// parameter as an induction-like index).
+    fn begin_func(&mut self, fb: &mut FuncBuilder<'_>, is_helper: bool) {
+        self.pool = (0..POOL_VARS).map(|i| fb.var(format!("v{i}"))).collect();
+        self.addr = fb.var("addr");
+        self.scratch = fb.var("mscratch");
+        self.inds.clear();
+        if is_helper {
+            // Helpers treat their argument as an induction-like index and
+            // derive their pool from it, so their effect is input-dependent
+            // even before any loads.
+            self.inds.push(fb.param(0));
+            for (i, v) in self.pool.clone().into_iter().enumerate() {
+                fb.bin(v, BinOp::Add, fb.param(0), i as i64);
+            }
+        }
+    }
+
+    fn stmt_count(&mut self) -> u32 {
+        self.rng
+            .gen_range(self.cfg.body_stmts.0 as i64, self.cfg.body_stmts.1 as i64 + 1)
+            as u32
+    }
+
+    /// A random value operand: a pool register, an induction variable, or a
+    /// constant.
+    fn operand(&mut self) -> Operand {
+        match self.rng.pick(8) {
+            0..=3 => Operand::Var(self.pool[self.rng.pick(self.pool.len())]),
+            4 | 5 if !self.inds.is_empty() => {
+                Operand::Var(self.inds[self.rng.pick(self.inds.len())])
+            }
+            6 => Operand::Const(self.rng.gen_range(-8, 9)),
+            _ => Operand::Const(self.rng.gen_range(-1000, 1000)),
+        }
+    }
+
+    fn rand_binop(&mut self) -> BinOp {
+        use BinOp::*;
+        const OPS: [BinOp; 18] = [
+            Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Eq, Ne, Lt, Le, Gt, Ge, Min, Max,
+        ];
+        OPS[self.rng.pick(OPS.len())]
+    }
+
+    /// Emit instructions computing a memory address into the scratch
+    /// register and return it. Addresses are built only from induction
+    /// variables and constants, so aliasing structure is controlled by the
+    /// config, never by wild loaded values.
+    fn addr_expr(&mut self, fb: &mut FuncBuilder<'_>) -> Var {
+        let a = self.addr;
+        if self.rng.chance(self.cfg.alias_density) || self.inds.is_empty() {
+            // Hot shared slot: a handful of words spanning two cache lines.
+            if self.inds.is_empty() || self.rng.chance(0.5) {
+                let slot = self.rng.gen_range(0, SHARED_WORDS);
+                fb.bin(a, BinOp::Add, Operand::Global(self.shared), slot);
+            } else {
+                let i = self.inds[self.rng.pick(self.inds.len())];
+                fb.bin(a, BinOp::And, i, SHARED_WORDS - 1);
+                fb.bin(a, BinOp::Add, Operand::Global(self.shared), a);
+            }
+        } else {
+            let i = self.inds[self.rng.pick(self.inds.len())];
+            let (stride, off) = if self.rng.chance(self.cfg.cross_epoch) {
+                // Loop-carried: this epoch's slot shifted by ±distance.
+                let d = self
+                    .rng
+                    .gen_range(self.cfg.dep_distance.0, self.cfg.dep_distance.1 + 1);
+                let s = self.rng.gen_range(1, 3);
+                let sign = if self.rng.chance(0.5) { -1 } else { 1 };
+                (s, sign * d * s + self.rng.gen_range(0, 2))
+            } else {
+                // Private: stride a whole line so epochs mostly touch
+                // disjoint lines.
+                (crate::LINE_WORDS, self.rng.gen_range(0, crate::LINE_WORDS))
+            };
+            fb.bin(a, BinOp::Mul, i, stride);
+            fb.bin(a, BinOp::Add, a, off);
+            fb.bin(a, BinOp::And, a, ARR_WORDS - 1);
+            fb.bin(a, BinOp::Add, Operand::Global(self.arr), a);
+        }
+        a
+    }
+
+    /// Emit `n` memory accesses that define no pool register: loads land in
+    /// the dedicated scratch, stores write the scratch (once loaded), a
+    /// pool register or a constant. Data flows epoch-to-epoch through
+    /// memory only.
+    fn emit_mem_stmts(&mut self, fb: &mut FuncBuilder<'_>, n: u32) {
+        let mut loaded = false;
+        for _ in 0..n {
+            let a = self.addr_expr(fb);
+            if loaded && self.rng.chance(self.cfg.store_frac) {
+                let val = if self.rng.chance(0.6) {
+                    Operand::Var(self.scratch)
+                } else {
+                    self.operand()
+                };
+                fb.store(val, a, 0);
+            } else {
+                fb.load(self.scratch, a, 0);
+                loaded = true;
+            }
+        }
+    }
+
+    /// Emit `n` random straight-line statements at the cursor.
+    fn emit_stmts(&mut self, fb: &mut FuncBuilder<'_>, n: u32, allow_output: bool) {
+        for _ in 0..n {
+            if self.rng.chance(self.cfg.mem_density) {
+                let a = self.addr_expr(fb);
+                if self.rng.chance(self.cfg.store_frac) {
+                    let val = self.operand();
+                    fb.store(val, a, 0);
+                } else {
+                    let dst = self.pool[self.rng.pick(self.pool.len())];
+                    fb.load(dst, a, 0);
+                }
+            } else if allow_output && self.rng.chance(self.cfg.output_prob) {
+                let val = self.operand();
+                fb.output(val);
+            } else {
+                let dst = self.pool[self.rng.pick(self.pool.len())];
+                let op = self.rand_binop();
+                let (x, y) = (self.operand(), self.operand());
+                fb.bin(dst, op, x, y);
+            }
+        }
+    }
+
+    /// Emit a data-dependent diamond: both arms rejoin, so control always
+    /// converges regardless of (possibly speculatively wrong) data.
+    fn emit_diamond(&mut self, fb: &mut FuncBuilder<'_>, name: &str) {
+        let c = self.pool[self.rng.pick(self.pool.len())];
+        let src = self.operand();
+        fb.bin(c, BinOp::And, src, 1);
+        let t = fb.block(format!("{name}_t"));
+        let f = fb.block(format!("{name}_f"));
+        let j = fb.block(format!("{name}_j"));
+        fb.br(c, t, f);
+        fb.switch_to(t);
+        let n = 1 + self.rng.pick(3) as u32;
+        self.emit_stmts(fb, n, true);
+        fb.jump(j);
+        fb.switch_to(f);
+        let n = self.rng.pick(3) as u32;
+        self.emit_stmts(fb, n, true);
+        fb.jump(j);
+        fb.switch_to(j);
+    }
+
+    /// Emit a counted loop with a random body; `depth` 0 is a top-level
+    /// region candidate, deeper loops are plain nested loops.
+    fn emit_loop(&mut self, fb: &mut FuncBuilder<'_>, name: &str, trip: i64, depth: u32) {
+        let i = fb.var(format!("{name}_i"));
+        let c = fb.var(format!("{name}_c"));
+        fb.assign(i, 0);
+        let head = fb.block(format!("{name}_head"));
+        let body = fb.block(format!("{name}_body"));
+        let latch = fb.block(format!("{name}_latch"));
+        let exit = fb.block(format!("{name}_exit"));
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.bin(c, BinOp::Lt, i, trip);
+        fb.br(c, body, exit);
+        fb.switch_to(latch);
+        fb.bin(i, BinOp::Add, i, 1);
+        fb.jump(head);
+        fb.switch_to(body);
+
+        self.inds.push(i);
+        let mem_only = depth == 0 && self.rng.chance(self.cfg.mem_loop_prob);
+        if mem_only {
+            // No pool register is defined, so the counter (privatized by
+            // the compiler) is the only carried scalar: the epochs overlap
+            // freely and conflict through memory alone.
+            let n = self.stmt_count() + self.stmt_count() / 2;
+            self.emit_mem_stmts(fb, n);
+        } else {
+            let n = self.stmt_count();
+            self.emit_stmts(fb, n, true);
+            if depth == 0 {
+                if self.rng.chance(self.cfg.inner_loop_prob) {
+                    let trip = self
+                        .rng
+                        .gen_range(self.cfg.inner_trips.0, self.cfg.inner_trips.1 + 1);
+                    self.emit_loop(fb, &format!("{name}_in"), trip, depth + 1);
+                }
+                if !self.helpers.is_empty() && self.rng.chance(self.cfg.call_prob) {
+                    let h = self.helpers[self.rng.pick(self.helpers.len())];
+                    let dst = self.pool[self.rng.pick(self.pool.len())];
+                    let arg = self.operand();
+                    fb.call(Some(dst), h, vec![arg]);
+                }
+            }
+            if self.rng.chance(self.cfg.branch_prob) {
+                self.emit_diamond(fb, &format!("{name}_d"));
+            }
+            let n = self.stmt_count() / 2;
+            self.emit_stmts(fb, n, true);
+        }
+        self.inds.pop();
+
+        fb.jump(latch);
+        fb.switch_to(exit);
+    }
+
+    /// Emit the epilogue checksum: fold every word of both globals into the
+    /// accumulator and emit it, so the final memory state is observable
+    /// through the output stream as well as through the memory comparison.
+    fn emit_checksum(&mut self, fb: &mut FuncBuilder<'_>) {
+        let acc = self.pool[0];
+        let tmp = self.pool[1];
+        for (base, words, name) in [
+            (self.arr, ARR_WORDS, "ck_arr"),
+            (self.shared, SHARED_WORDS, "ck_sh"),
+        ] {
+            let i = fb.var(format!("{name}_i"));
+            let c = fb.var(format!("{name}_c"));
+            fb.assign(i, 0);
+            let head = fb.block(format!("{name}_head"));
+            let body = fb.block(format!("{name}_body"));
+            let exit = fb.block(format!("{name}_exit"));
+            fb.jump(head);
+            fb.switch_to(head);
+            fb.bin(c, BinOp::Lt, i, words);
+            fb.br(c, body, exit);
+            fb.switch_to(body);
+            fb.bin(self.addr, BinOp::Add, Operand::Global(base), i);
+            fb.load(tmp, self.addr, 0);
+            fb.bin(acc, BinOp::Mul, acc, 31);
+            fb.bin(acc, BinOp::Xor, acc, tmp);
+            fb.bin(i, BinOp::Add, i, 1);
+            fb.jump(head);
+            fb.switch_to(exit);
+        }
+        for &v in &self.pool {
+            fb.output(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = generate(123, &cfg, 0);
+        let b = generate(123, &cfg, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn data_salt_changes_data_not_structure() {
+        let cfg = GenConfig::default();
+        let a = generate(7, &cfg, 0);
+        let b = generate(7, &cfg, 1);
+        // The CFG shape and every id must match (the profile-on-train modes
+        // transfer profiles between the pair by loop header and sid); only
+        // the input data — global initializers and prologue constants — may
+        // differ.
+        assert_eq!(a.funcs.len(), b.funcs.len());
+        assert_eq!(a.next_sid, b.next_sid);
+        for (fa, fb) in a.funcs.iter().zip(&b.funcs) {
+            assert_eq!(fa.blocks.len(), fb.blocks.len(), "{}", fa.name);
+            for (ba, bb) in fa.blocks.iter().zip(&fb.blocks) {
+                assert_eq!(ba.instrs.len(), bb.instrs.len());
+                assert_eq!(ba.term, bb.term);
+            }
+        }
+        assert_ne!(
+            a.globals[0].init, b.globals[0].init,
+            "data must depend on the salt"
+        );
+    }
+
+    #[test]
+    fn first_hundred_seeds_validate() {
+        let cfg = GenConfig::default();
+        for seed in 0..100 {
+            let m = generate(seed, &cfg, 0);
+            validate(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(!m.funcs.is_empty() && m.static_instr_count() > 20);
+        }
+    }
+}

@@ -76,15 +76,20 @@
 
 mod builder;
 mod display;
+pub mod generate;
 mod ids;
 mod instr;
 mod module;
+mod rng;
+pub mod serial;
 mod validate;
 
 pub use builder::{FuncBuilder, ModuleBuilder};
+pub use generate::{generate, GenConfig};
 pub use ids::{BlockId, ChanId, FuncId, GlobalId, GroupId, RegionId, Sid, Var};
 pub use instr::{BinOp, Instr, Operand, Terminator};
 pub use module::{Block, Function, Global, Module, SpecRegion};
+pub use rng::SplitMix64;
 pub use validate::{validate, ValidateError};
 
 /// Bytes per machine word. Addresses in this IR count words, not bytes.

@@ -124,7 +124,10 @@ impl SpecRegion {
 }
 
 /// A complete program: functions, globals and speculative regions.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` is structural (used by serialization round-trip and
+/// generator determinism tests).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Module {
     /// All functions; `FuncId` indexes into this.
     pub funcs: Vec<Function>,

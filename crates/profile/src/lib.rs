@@ -70,3 +70,81 @@ pub fn run_sequential(module: &tls_ir::Module) -> Result<ExecResult, ExecError> 
     let mut interp = Interp::new(module, InterpConfig::default());
     interp.run(&mut NullObserver)
 }
+
+/// The architectural outcome of a sequential execution: everything a TLS
+/// execution must reproduce *exactly* — the observable output stream, the
+/// entry function's return value, and the final memory state.
+///
+/// This is the oracle the differential fuzzer compares every simulator mode
+/// against ([`ArchOutcome::diff`]).
+#[derive(Clone, Debug)]
+pub struct ArchOutcome {
+    /// The observable output stream.
+    pub output: Vec<i64>,
+    /// The entry function's return value.
+    pub ret: i64,
+    /// The final memory state.
+    pub memory: Memory,
+}
+
+impl ArchOutcome {
+    /// Execute `module` sequentially under `config` and capture its
+    /// architectural outcome.
+    ///
+    /// # Errors
+    /// Propagates any [`ExecError`] (step limit, call depth).
+    pub fn of(module: &tls_ir::Module, config: InterpConfig) -> Result<Self, ExecError> {
+        let mut interp = Interp::new(module, config);
+        let r = interp.run(&mut NullObserver)?;
+        Ok(Self {
+            output: r.output,
+            ret: r.ret,
+            memory: r.memory,
+        })
+    }
+
+    /// Compare a TLS execution's architectural results against this oracle.
+    /// Returns a description of the *first* divergence (output stream, then
+    /// return value, then memory in address order), or `None` on an exact
+    /// match.
+    pub fn diff(&self, output: &[i64], ret: i64, memory: &Memory) -> Option<String> {
+        self.diff_outside(output, ret, memory, &(0..0))
+    }
+
+    /// Like [`ArchOutcome::diff`], but memory words with addresses in
+    /// `skip` are not compared — the range holding compiler-introduced
+    /// synchronization scratch, which sequential execution never touches.
+    pub fn diff_outside(
+        &self,
+        output: &[i64],
+        ret: i64,
+        memory: &Memory,
+        skip: &std::ops::Range<i64>,
+    ) -> Option<String> {
+        if self.output != output {
+            let i = self
+                .output
+                .iter()
+                .zip(output)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| self.output.len().min(output.len()));
+            return Some(format!(
+                "output diverges at index {i}: sequential {:?} vs TLS {:?} \
+                 (lengths {} vs {})",
+                self.output.get(i),
+                output.get(i),
+                self.output.len(),
+                output.len()
+            ));
+        }
+        if self.ret != ret {
+            return Some(format!("return value: sequential {} vs TLS {ret}", self.ret));
+        }
+        if let Some((addr, seq, tls)) = self.memory.first_diff_outside(memory, skip) {
+            return Some(format!(
+                "memory diverges at word {addr}: sequential {seq} vs TLS {tls}"
+            ));
+        }
+        None
+    }
+}

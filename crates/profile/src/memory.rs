@@ -58,6 +58,50 @@ impl Memory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// The first `(addr, self_value, other_value)` where the two memories
+    /// disagree, in address order, or `None` if they hold the same words.
+    ///
+    /// Comparison is semantic: a page full of zeros equals an absent page,
+    /// so two memories with different page residency can still be equal.
+    pub fn first_diff(&self, other: &Memory) -> Option<(i64, i64, i64)> {
+        self.first_diff_outside(other, &(0..0))
+    }
+
+    /// Like [`Memory::first_diff`], but words with addresses in `skip` are
+    /// not compared. Used to exclude compiler-introduced scratch (the
+    /// memory-resident synchronization flags live past the original
+    /// program's globals) from architectural-equality checks.
+    pub fn first_diff_outside(
+        &self,
+        other: &Memory,
+        skip: &std::ops::Range<i64>,
+    ) -> Option<(i64, i64, i64)> {
+        let mut pages: Vec<i64> = self.pages.keys().chain(other.pages.keys()).copied().collect();
+        pages.sort_unstable();
+        pages.dedup();
+        for p in pages {
+            let a = self.pages.get(&p);
+            let b = other.pages.get(&p);
+            for o in 0..PAGE_WORDS {
+                let addr = p * PAGE_WORDS as i64 + o as i64;
+                if skip.contains(&addr) {
+                    continue;
+                }
+                let va = a.map_or(0, |pg| pg[o]);
+                let vb = b.map_or(0, |pg| pg[o]);
+                if va != vb {
+                    return Some((addr, va, vb));
+                }
+            }
+        }
+        None
+    }
+
+    /// Do the two memories hold the same words? (See [`Memory::first_diff`].)
+    pub fn same_words(&self, other: &Memory) -> bool {
+        self.first_diff(other).is_none()
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +127,26 @@ mod tests {
             assert_eq!(m.read(addr), addr.wrapping_mul(7) + 1, "addr {addr}");
         }
         assert_eq!(m.read(2), 0);
+    }
+
+    #[test]
+    fn diff_is_semantic_and_ordered() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        assert!(a.same_words(&b));
+        // Residency alone is not a difference.
+        a.write(5, 0);
+        assert!(a.same_words(&b) && b.same_words(&a));
+        a.write(2048, 7);
+        b.write(2048, 7);
+        b.write(-3, 1);
+        a.write(9000, 4);
+        // First difference in address order: -3.
+        assert_eq!(a.first_diff(&b), Some((-3, 0, 1)));
+        b.write(-3, 0);
+        assert_eq!(a.first_diff(&b), Some((9000, 4, 0)));
+        b.write(9000, 4);
+        assert!(a.same_words(&b));
     }
 
     #[test]

@@ -123,6 +123,13 @@ pub struct SimConfig {
     pub hybrid_filter: bool,
     /// Safety net: maximum dynamic instructions per simulation.
     pub max_steps: u64,
+    /// **Fault injection, test-only.** Disables the `use_forwarded_value`
+    /// recovery check (§2.2): a `SyncLoad` consumes the forwarded value even
+    /// when the forwarded address does not match the load address —
+    /// deliberately wrong. The differential fuzzer's shrinker demo flips
+    /// this to prove that an injected correctness bug is caught and
+    /// minimized. Never set outside tests.
+    pub break_forwarded_recovery: bool,
 }
 
 impl SimConfig {
@@ -166,6 +173,7 @@ impl SimConfig {
             relay_forwarding: false,
             hybrid_filter: false,
             max_steps: 4_000_000_000,
+            break_forwarded_recovery: false,
         }
     }
 

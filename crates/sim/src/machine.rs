@@ -395,6 +395,7 @@ impl<'m> Machine<'m> {
         self.result.instructions = self.steps;
         let region_cycles: u64 = self.result.regions.values().map(|r| r.cycles).sum();
         self.result.sequential_cycles = self.time.saturating_sub(region_cycles);
+        self.result.memory = std::mem::take(&mut self.mem);
         Ok(self.result)
     }
 
@@ -1280,9 +1281,15 @@ impl<'m> Machine<'m> {
                                     let frame = e.frames.last_mut().expect("nonempty");
                                     frame.regs[dst.index()] = v;
                                     frame.ready[dst.index()] = complete;
-                                } else if sig.addr == Some(a) {
+                                } else if sig.addr == Some(a)
+                                    || (self.config.break_forwarded_recovery
+                                        && sig.addr.is_some())
+                                {
                                     // Address match: use the forwarded value;
-                                    // exempt from violation tracking.
+                                    // exempt from violation tracking. (With
+                                    // the test-only fault injection the value
+                                    // is consumed even on a mismatch, which
+                                    // the differential fuzzer must catch.)
                                     let (issue, complete) =
                                         e.timer.issue(r.max(sig.ready_at), self.config.lat_alu);
                                     e.clock = issue;

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use tls_ir::{RegionId, Sid};
+use tls_profile::Memory;
 
 /// Potential graduation slots divided into the paper's four segments.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -104,6 +105,11 @@ pub struct SimResult {
     pub max_signal_buffer: usize,
     /// Total squashed attempts across all regions.
     pub total_violations: u64,
+    /// Final committed memory state. Under TLS only committed epochs write
+    /// here, so it must equal sequential execution's final memory — the
+    /// second half of the architectural correctness invariant (the first
+    /// being `output`).
+    pub memory: Memory,
 }
 
 impl SimResult {

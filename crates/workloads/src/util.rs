@@ -15,32 +15,11 @@ use tls_ir::{BinOp, BlockId, FuncBuilder, Operand, Var};
 
 use crate::InputSet;
 
-/// Deterministic splitmix64 generator (Steele et al., "Fast splittable
-/// pseudorandom number generators"). Self-contained so the workspace has no
-/// external dependency — input data must be reproducible across toolchains
-/// anyway, which rules out tracking a third-party RNG's stream.
-pub(crate) struct Prng(u64);
-
-impl Prng {
-    pub(crate) fn seed_from_u64(seed: u64) -> Self {
-        Prng(seed)
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `lo..hi` (modulo bias is negligible for the small
-    /// ranges the workloads use).
-    fn gen_range(&mut self, lo: i64, hi: i64) -> i64 {
-        debug_assert!(lo < hi);
-        lo + (self.next_u64() % (hi - lo) as u64) as i64
-    }
-}
+/// The deterministic splitmix64 generator shared with the IR-level random
+/// program generator. Same algorithm (and therefore the same stream) as the
+/// private implementation this crate used to carry, so workload input data
+/// is unchanged.
+pub(crate) use tls_ir::SplitMix64 as Prng;
 
 /// Deterministic RNG for a workload/input pair.
 pub(crate) fn rng(tag: &str, input: InputSet) -> Prng {

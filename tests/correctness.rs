@@ -26,10 +26,23 @@ const MAIN_MODES: &[Mode] = &[
 const IDEAL_MODES: &[Mode] = &[
     Mode::OracleAll,
     Mode::Threshold(25),
+    Mode::Threshold(15),
     Mode::Threshold(5),
     Mode::PerfectSync,
     Mode::LateSync,
     Mode::HwPredict,
+    Mode::Marking {
+        stall_compiler: false,
+        stall_hardware: false,
+    },
+    Mode::Marking {
+        stall_compiler: true,
+        stall_hardware: false,
+    },
+    Mode::Marking {
+        stall_compiler: false,
+        stall_hardware: true,
+    },
     Mode::Marking {
         stall_compiler: true,
         stall_hardware: true,

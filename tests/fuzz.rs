@@ -1,0 +1,76 @@
+//! Fixed-seed differential-fuzzing smoke corpus (tier 1).
+//!
+//! The full campaigns run via `repro fuzz`; these tests pin a deterministic
+//! subset so `cargo test` exercises the generator, the whole mode matrix,
+//! the shrinker, and the checked-in regression corpus on every run.
+
+use std::path::Path;
+
+use tls_repro::experiments::fuzz::{self, FuzzConfig};
+
+/// 200 deterministic seeds, every mode, zero tolerated mismatches. Runs
+/// serially in well under a minute (the release campaign does 200 seeds in
+/// ~0.7 s on one core).
+#[test]
+fn smoke_corpus_is_clean() {
+    let cfg = FuzzConfig::default();
+    let report = fuzz::run_fuzz(1, 200, &cfg, None);
+    assert_eq!(report.iters, 200);
+    let summaries: Vec<String> = report.failures.iter().map(|f| f.failure.to_string()).collect();
+    assert!(
+        report.failures.is_empty(),
+        "fuzz smoke corpus found mismatches: {summaries:?}"
+    );
+    // The corpus must actually exercise the machinery it claims to test.
+    assert!(report.seeds_with_regions >= 150, "{}", report.summary());
+    assert!(report.seeds_with_sync_loads >= 50, "{}", report.summary());
+    assert!(report.seeds_with_violations >= 20, "{}", report.summary());
+}
+
+/// The shrinker demo of the fault-injection self-test: with the
+/// forwarded-value recovery fault enabled the harness must catch
+/// mismatches, and at least one must minimize below 30 instructions.
+#[test]
+fn fault_injection_shrinks_to_small_repro() {
+    let cfg = FuzzConfig {
+        break_forwarded_recovery: true,
+        ..FuzzConfig::default()
+    };
+    let report = fuzz::run_fuzz(1, 40, &cfg, None);
+    assert!(
+        !report.failures.is_empty(),
+        "injected fault was not detected in 40 seeds"
+    );
+    let smallest = report
+        .failures
+        .iter()
+        .map(|f| f.minimized.static_instr_count())
+        .min()
+        .expect("nonempty");
+    assert!(
+        smallest < 30,
+        "smallest minimized repro has {smallest} instructions"
+    );
+}
+
+/// Every checked-in minimized module from past fuzz-found bugs must keep
+/// passing the full matrix (see the header comment of each artifact for
+/// the defect it pins).
+#[test]
+fn regression_corpus_stays_fixed() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    let cfg = FuzzConfig::default();
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("tests/regressions exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_none_or(|e| e != "txt") {
+            continue;
+        }
+        match fuzz::replay(&path, &cfg) {
+            Ok(Ok(_)) => checked += 1,
+            Ok(Err(f)) => panic!("{} regressed: {f}", path.display()),
+            Err(e) => panic!("{}: {e}", path.display()),
+        }
+    }
+    assert!(checked >= 2, "regression corpus missing ({checked} found)");
+}

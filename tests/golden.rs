@@ -1,0 +1,51 @@
+//! Golden snapshots of every figure/table at Quick scale.
+//!
+//! The committed JSON under `tests/golden/` is the exact `repro <target>
+//! --quick --out` payload; any change to the pipeline, the simulator or
+//! the table rendering that shifts a number shows up as a byte diff here.
+//! Refresh intentionally with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use std::path::PathBuf;
+
+use tls_repro::experiments::{figures, Harness, Scale};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn figures_match_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let workloads = tls_repro::workloads::all();
+    let harnesses = Harness::prepare_all(&workloads, Scale::Quick).expect("prepare workloads");
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+    let mut stale: Vec<String> = Vec::new();
+    for target in figures::TARGETS {
+        let table = figures::by_name(target, &harnesses)
+            .expect("known target")
+            .unwrap_or_else(|e| panic!("{target} failed: {e}"));
+        let want = format!("{}\n", table.to_json());
+        let path = dir.join(format!("{target}.json"));
+        if update {
+            std::fs::write(&path, &want).expect("write golden");
+            continue;
+        }
+        let got = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{} unreadable ({e}); run UPDATE_GOLDEN=1", path.display()));
+        if got != want {
+            stale.push(target.to_string());
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "golden snapshots differ for {stale:?}; inspect the diff and refresh \
+         with UPDATE_GOLDEN=1 cargo test --test golden"
+    );
+}
