@@ -10,6 +10,7 @@
 
 use std::time::Instant;
 
+use tls_sim::CountingTracer;
 use tls_workloads::Workload;
 
 use crate::harness::{ExperimentError, Harness, Mode, Scale};
@@ -51,6 +52,18 @@ pub struct BenchReport {
     pub parallel_wall_ms: f64,
     /// `serial_wall_ms / parallel_wall_ms`.
     pub speedup: f64,
+    /// Simulated instructions per second with tracing disabled
+    /// (`NullTracer`, the default hot loop) — best of the interleaved
+    /// rounds.
+    pub null_tracer_ips: f64,
+    /// Simulated instructions per second with the cheapest *enabled*
+    /// tracer (`CountingTracer`) — best of the interleaved rounds.
+    pub counting_tracer_ips: f64,
+    /// `(counting - null) / null`, as a percentage: the wall-clock cost of
+    /// turning tracing on. The disabled path must not pay for the hooks at
+    /// all — a guard test asserts it stays within noise of the enabled
+    /// path from the fast side.
+    pub tracing_overhead_pct: f64,
     /// Per-workload phase timings from the serial pass.
     pub workloads: Vec<WorkloadBench>,
 }
@@ -65,6 +78,11 @@ impl BenchReport {
         s.push_str(&format!("\"serial_wall_ms\":{:.3},", self.serial_wall_ms));
         s.push_str(&format!("\"parallel_wall_ms\":{:.3},", self.parallel_wall_ms));
         s.push_str(&format!("\"speedup\":{:.3},", self.speedup));
+        s.push_str(&format!(
+            "\"tracing\":{{\"null_tracer_ips\":{:.0},\"counting_tracer_ips\":{:.0},\
+             \"overhead_pct\":{:.3}}},",
+            self.null_tracer_ips, self.counting_tracer_ips, self.tracing_overhead_pct
+        ));
         s.push_str("\"workloads\":[");
         for (i, w) in self.workloads.iter().enumerate() {
             if i > 0 {
@@ -130,8 +148,35 @@ fn parallel_pass(workloads: &[Workload], scale: Scale) -> Result<f64, Experiment
     Ok(ms(pass))
 }
 
-/// Run the benchmark: a serial pass (phase timings), then a parallel pass
-/// with up to `jobs` workers (0 = one per CPU).
+/// Interleaved best-of-N throughput comparison of the tracing-*disabled*
+/// hot loop (`NullTracer`, statically compiled out) against the cheapest
+/// *enabled* tracer (`CountingTracer`). Returns `(null_ips,
+/// counting_ips)`. Interleaving the rounds keeps host frequency drift from
+/// biasing either side; taking each side's best round rejects scheduling
+/// noise.
+///
+/// # Errors
+/// Propagates simulation failures.
+pub fn tracing_overhead(h: &Harness) -> Result<(f64, f64), ExperimentError> {
+    const ROUNDS: usize = 5;
+    let mut null_ips: f64 = 0.0;
+    let mut counting_ips: f64 = 0.0;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        let r = h.run(Mode::Unsync)?;
+        null_ips = null_ips.max(r.instructions as f64 / t.elapsed().as_secs_f64().max(1e-9));
+        let t = Instant::now();
+        let mut counter = CountingTracer::default();
+        let r = h.run_traced(Mode::Unsync, &mut counter)?;
+        counting_ips =
+            counting_ips.max(r.instructions as f64 / t.elapsed().as_secs_f64().max(1e-9));
+    }
+    Ok((null_ips, counting_ips))
+}
+
+/// Run the benchmark: a serial pass (phase timings), a parallel pass with
+/// up to `jobs` workers (0 = one per CPU), then the tracing-overhead
+/// comparison on the first workload.
 ///
 /// # Errors
 /// Propagates harness preparation and simulation failures.
@@ -145,6 +190,10 @@ pub fn run_bench(
     let (serial_wall_ms, per) = serial_pass(workloads, scale)?;
     par::set_jobs(jobs);
     let parallel_wall_ms = parallel_pass(workloads, scale)?;
+    let (null_tracer_ips, counting_tracer_ips) = match workloads.first() {
+        Some(&w) => tracing_overhead(&Harness::new(w, scale)?)?,
+        None => (0.0, 0.0),
+    };
     Ok(BenchReport {
         scale,
         jobs: par::jobs_for(usize::MAX),
@@ -152,6 +201,11 @@ pub fn run_bench(
         serial_wall_ms,
         parallel_wall_ms,
         speedup: serial_wall_ms / parallel_wall_ms.max(1e-9),
+        null_tracer_ips,
+        counting_tracer_ips,
+        tracing_overhead_pct: (counting_tracer_ips - null_tracer_ips)
+            / null_tracer_ips.max(1e-9)
+            * 100.0,
         workloads: per,
     })
 }
@@ -170,6 +224,25 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"name\":\"ijpeg\""), "{json}");
         assert!(json.contains("\"speedup\""), "{json}");
+        assert!(json.contains("\"tracing\""), "{json}");
+        assert!(r.null_tracer_ips > 0.0 && r.counting_tracer_ips > 0.0);
         par::set_jobs(0);
+    }
+
+    /// The regression guard for the zero-cost-when-disabled claim: the
+    /// default hot loop (`NullTracer`, hooks compiled out) must not run
+    /// slower than the tracing-enabled loop beyond measurement noise. If a
+    /// change makes the disabled path pay for event construction, the two
+    /// converge and this fails.
+    #[test]
+    fn disabled_tracing_pays_nothing() {
+        let w = tls_workloads::by_name("ijpeg").expect("workload exists");
+        let h = Harness::new(w, Scale::Quick).expect("harness builds");
+        let (null_ips, counting_ips) = tracing_overhead(&h).expect("overhead measured");
+        assert!(
+            null_ips >= counting_ips * 0.98,
+            "tracing-disabled throughput regressed: null {null_ips:.0} instr/s vs \
+             enabled {counting_ips:.0} instr/s"
+        );
     }
 }

@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! repro <target> [--quick] [--workloads a,b,c] [--jobs N] [--out path]
+//! repro trace <bench> [--mode M] [--quick] [--interval N]
+//!             [--perfetto path] [--attrib path] [--width N]
+//! repro trace-check <perfetto.json>
 //! repro fuzz [--seed S] [--iters N] [--jobs N] [--break-forwarding]
 //!            [--replay path] [--artifacts dir]
 //!
 //! targets: fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 report all
-//!          bench list fuzz
+//!          bench list trace trace-check fuzz
+//! global flags: --verbose --quiet
 //! ```
 //!
 //! `--quick` measures the train inputs (fast); the default measures ref.
@@ -15,6 +19,23 @@
 //! results as JSON in addition to the text tables on stdout: an array of
 //! table objects for figure targets, the benchmark report for `bench`
 //! (default `BENCH_repro.json` there).
+//!
+//! `--verbose` adds detail (per-epoch and wait tables under `trace`);
+//! `--quiet` suppresses progress chatter and the per-target resource
+//! lines. By default every target reports one line of wall time and peak
+//! RSS (from `/proc/self/status`, so it reflects the process high-water
+//! mark) when it finishes.
+//!
+//! `trace` runs one workload under one mode (default `U`; see
+//! `Mode::from_label` for the letters) with event tracing enabled, prints
+//! an ASCII timeline plus dependence-attribution tables, and optionally
+//! exports a Chrome-trace/Perfetto JSON timeline (`--perfetto`, open at
+//! <https://ui.perfetto.dev>) and an attribution report (`--attrib`). The
+//! exported Perfetto JSON is validated before it is written, and the
+//! attribution's per-edge squash counts are checked against the run's
+//! violation total. `--interval N` adds a cumulative slot-breakdown sample
+//! event every N cycles. `trace-check` re-validates a previously exported
+//! Perfetto file (used by CI).
 //!
 //! `fuzz` runs the differential fuzzer: `--iters N` seeds starting at
 //! `--seed S`, each generated program checked across the full mode matrix
@@ -25,18 +46,225 @@
 //! previously written artifact instead of generating programs.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use tls_experiments::{bench, figures, fuzz, par, Harness, Scale, Table};
+use tls_experiments::{attrib, bench, figures, fuzz, par, Harness, Mode, Scale, Table};
+use tls_sim::{
+    ascii_timeline, check_event_stream, perfetto_json, validate_perfetto, RecordingTracer,
+};
 use tls_workloads::Workload;
+
+/// How chatty to be (`--quiet` < default < `--verbose`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Verbosity {
+    Quiet,
+    Normal,
+    Verbose,
+}
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|report|all|bench|list> \
          [--quick] [--workloads a,b,c] [--jobs N] [--out path]\n\
+         \x20      repro trace <bench> [--mode M] [--quick] [--interval N] \
+         [--perfetto path] [--attrib path] [--width N]\n\
+         \x20      repro trace-check <perfetto.json>\n\
          \x20      repro fuzz [--seed S] [--iters N] [--jobs N] [--break-forwarding] \
-         [--replay path] [--artifacts dir]"
+         [--replay path] [--artifacts dir]\n\
+         \x20      global flags: --verbose --quiet"
     );
     ExitCode::FAILURE
+}
+
+/// Peak resident-set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`); `None` where procfs is unavailable.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// One-line wall-time + peak-RSS report for a finished target.
+fn report_resources(verbosity: Verbosity, label: &str, start: Instant) {
+    if verbosity == Verbosity::Quiet {
+        return;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    match peak_rss_kb() {
+        Some(kb) => eprintln!(
+            "[{label}] wall {wall:.2} s, peak RSS {:.1} MB",
+            kb as f64 / 1024.0
+        ),
+        None => eprintln!("[{label}] wall {wall:.2} s"),
+    }
+}
+
+/// `repro trace <bench>`: one traced run, timeline + attribution exports.
+fn run_trace_cmd(args: &[String], verbosity: Verbosity) -> ExitCode {
+    let start = Instant::now();
+    let mut bench_name: Option<String> = None;
+    let mut mode_label = String::from("U");
+    let mut scale = Scale::Full;
+    let mut interval: u64 = 0;
+    let mut perfetto_path: Option<String> = None;
+    let mut attrib_path: Option<String> = None;
+    let mut width: usize = 100;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => match it.next() {
+                Some(m) => mode_label = m.clone(),
+                None => return usage(),
+            },
+            "--quick" => scale = Scale::Quick,
+            "--interval" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => interval = n,
+                None => return usage(),
+            },
+            "--perfetto" => match it.next() {
+                Some(p) => perfetto_path = Some(p.clone()),
+                None => return usage(),
+            },
+            "--attrib" => match it.next() {
+                Some(p) => attrib_path = Some(p.clone()),
+                None => return usage(),
+            },
+            "--width" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => width = n,
+                None => return usage(),
+            },
+            name if bench_name.is_none() && !name.starts_with('-') => {
+                bench_name = Some(name.to_string());
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(bench_name) = bench_name else {
+        return usage();
+    };
+    let Some(workload) = tls_workloads::by_name(&bench_name) else {
+        eprintln!("unknown workload `{bench_name}`");
+        return ExitCode::FAILURE;
+    };
+    let Some(mode) = Mode::from_label(&mode_label) else {
+        eprintln!("unknown mode `{mode_label}`");
+        return ExitCode::FAILURE;
+    };
+    if verbosity > Verbosity::Quiet {
+        eprintln!(
+            "tracing {bench_name} under mode {} at {scale:?} scale...",
+            mode.label()
+        );
+    }
+    let mut harness = match Harness::new(workload, scale) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to prepare {bench_name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    harness.base.trace_interval = interval;
+    let mut rec = RecordingTracer::default();
+    let result = match harness.run_traced(mode, &mut rec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("traced run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = rec.events;
+    // Self-check the stream before exporting anything from it.
+    let stream = match check_event_stream(&events) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("event stream violates its invariants: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if stream.squashes != result.total_violations {
+        eprintln!(
+            "attribution mismatch: {} squash events vs {} violations reported by the run",
+            stream.squashes, result.total_violations
+        );
+        return ExitCode::FAILURE;
+    }
+    let attribution = attrib::attribute(&events);
+    println!(
+        "{bench_name}/{}: {} events ({} spawns, {} commits, {} squashes, {} cancels) over {} \
+         cycles, {} violation(s)",
+        mode.label(),
+        events.len(),
+        stream.spawns,
+        stream.commits,
+        stream.squashes,
+        stream.cancels,
+        result.total_cycles,
+        result.total_violations
+    );
+    print!("{}", ascii_timeline(&events, width, 4));
+    if !attribution.edges.is_empty() {
+        println!("{}", attribution.edge_table(10));
+    }
+    if verbosity == Verbosity::Verbose {
+        println!("{}", attribution.epoch_table());
+        if !attribution.waits.is_empty() {
+            println!("{}", attribution.wait_table());
+        }
+    }
+    if let Some(path) = perfetto_path {
+        let json = perfetto_json(&events);
+        match validate_perfetto(&json) {
+            Ok(n) => {
+                if verbosity > Verbosity::Quiet {
+                    eprintln!("perfetto export: {n} trace event(s), open at https://ui.perfetto.dev");
+                }
+            }
+            Err(e) => {
+                eprintln!("generated Perfetto JSON failed validation: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if write_out(&path, &json) == ExitCode::FAILURE {
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = attrib_path {
+        let json = attribution.to_json(&bench_name, &mode.label(), result.total_violations);
+        if write_out(&path, &json) == ExitCode::FAILURE {
+            return ExitCode::FAILURE;
+        }
+    }
+    report_resources(verbosity, "trace", start);
+    ExitCode::SUCCESS
+}
+
+/// `repro trace-check <file>`: validate a previously exported timeline.
+fn run_trace_check_cmd(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return usage();
+    };
+    let contents = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_perfetto(&contents) {
+        Ok(n) => {
+            println!("{path}: valid Chrome trace, {n} event(s), timestamps monotonic");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid Chrome trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run_fuzz_cmd(args: &[String]) -> ExitCode {
@@ -138,7 +366,21 @@ fn write_out(path: &str, contents: &str) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut verbosity = Verbosity::Normal;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| match a.as_str() {
+            "--verbose" => {
+                verbosity = Verbosity::Verbose;
+                false
+            }
+            "--quiet" => {
+                verbosity = Verbosity::Quiet;
+                false
+            }
+            _ => true,
+        })
+        .collect();
     let Some(target) = args.first().cloned() else {
         return usage();
     };
@@ -151,6 +393,13 @@ fn main() -> ExitCode {
     if target == "fuzz" {
         return run_fuzz_cmd(&args[1..]);
     }
+    if target == "trace" {
+        return run_trace_cmd(&args[1..], verbosity);
+    }
+    if target == "trace-check" {
+        return run_trace_check_cmd(&args[1..]);
+    }
+    let start = Instant::now();
     let mut scale = Scale::Full;
     let mut filter: Option<Vec<String>> = None;
     let mut jobs: usize = 0; // 0 = one worker per CPU
@@ -202,12 +451,14 @@ fn main() -> ExitCode {
     };
 
     if target == "bench" {
-        eprintln!(
-            "benchmarking the pipeline on {} workload(s) at {:?} scale \
-             (serial pass, then parallel)...",
-            workloads.len(),
-            scale
-        );
+        if verbosity > Verbosity::Quiet {
+            eprintln!(
+                "benchmarking the pipeline on {} workload(s) at {:?} scale \
+                 (serial pass, then parallel)...",
+                workloads.len(),
+                scale
+            );
+        }
         let report = match bench::run_bench(&workloads, scale, jobs) {
             Ok(r) => r,
             Err(e) => {
@@ -223,16 +474,28 @@ fn main() -> ExitCode {
             report.host_cores,
             report.speedup
         );
-        return write_out(out.as_deref().unwrap_or("BENCH_repro.json"), &report.to_json());
+        println!(
+            "tracing overhead: null {:.0} instr/s vs counting {:.0} instr/s ({:+.2}%)",
+            report.null_tracer_ips,
+            report.counting_tracer_ips,
+            report.tracing_overhead_pct
+        );
+        let code = write_out(out.as_deref().unwrap_or("BENCH_repro.json"), &report.to_json());
+        report_resources(verbosity, "bench", start);
+        return code;
     }
 
-    eprintln!(
-        "preparing {} workload(s) at {:?} scale (compile + profile + sequential baseline)...",
-        workloads.len(),
-        scale
-    );
-    for w in &workloads {
-        eprintln!("  {} ({})", w.name, w.paper_name);
+    if verbosity > Verbosity::Quiet {
+        eprintln!(
+            "preparing {} workload(s) at {:?} scale (compile + profile + sequential baseline)...",
+            workloads.len(),
+            scale
+        );
+        if verbosity == Verbosity::Verbose {
+            for w in &workloads {
+                eprintln!("  {} ({})", w.name, w.paper_name);
+            }
+        }
     }
     let harnesses = match Harness::prepare_all(&workloads, scale) {
         Ok(hs) => hs,
@@ -241,6 +504,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    report_resources(verbosity, "prepare", start);
 
     let targets: Vec<&str> = if target == "all" {
         figures::TARGETS.to_vec()
@@ -249,13 +513,15 @@ fn main() -> ExitCode {
     };
     let mut tables: Vec<Table> = Vec::new();
     for t in targets {
+        let t_start = Instant::now();
         let Some(table) = figures::by_name(t, &harnesses) else {
             return usage();
         };
         match table {
-            Ok(t) => {
-                println!("{t}");
-                tables.push(t);
+            Ok(table) => {
+                println!("{table}");
+                tables.push(table);
+                report_resources(verbosity, t, t_start);
             }
             Err(e) => {
                 eprintln!("{t} failed: {e}");

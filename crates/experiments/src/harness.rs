@@ -6,7 +6,9 @@ use std::fmt;
 
 use tls_core::{compile_all, loads_above_threshold, CompilationSet, CompileError, CompileOptions};
 use tls_profile::{record_oracle, ExecError, ValueOracle};
-use tls_sim::{Machine, OracleSel, SimConfig, SimError, SimResult, SyncLoadPolicy};
+use tls_sim::{
+    Machine, NullTracer, OracleSel, SimConfig, SimError, SimResult, SyncLoadPolicy, Tracer,
+};
 use tls_workloads::{InputSet, Workload};
 
 /// How big a run to perform.
@@ -86,6 +88,48 @@ impl Mode {
                 (true, true) => "mark-B".into(),
             },
         }
+    }
+
+    /// Parse a bar letter back into a mode (the inverse of
+    /// [`Mode::label`]): `SEQ`, `U`, `O`, `O>75%`, `T`, `C`, `E`, `L`,
+    /// `P`, `H`, `B`, `B+`, `mark-U`, `mark-C`, `mark-H`, `mark-B`.
+    pub fn from_label(label: &str) -> Option<Mode> {
+        Some(match label {
+            "SEQ" | "seq" => Mode::Seq,
+            "U" | "u" => Mode::Unsync,
+            "O" | "o" => Mode::OracleAll,
+            "T" | "t" => Mode::CompilerTrain,
+            "C" | "c" => Mode::CompilerRef,
+            "E" | "e" => Mode::PerfectSync,
+            "L" | "l" => Mode::LateSync,
+            "P" | "p" => Mode::HwPredict,
+            "H" | "h" => Mode::HwSync,
+            "B" | "b" => Mode::Hybrid,
+            "B+" | "b+" => Mode::HybridFiltered,
+            "mark-U" => Mode::Marking {
+                stall_compiler: false,
+                stall_hardware: false,
+            },
+            "mark-C" => Mode::Marking {
+                stall_compiler: true,
+                stall_hardware: false,
+            },
+            "mark-H" => Mode::Marking {
+                stall_compiler: false,
+                stall_hardware: true,
+            },
+            "mark-B" => Mode::Marking {
+                stall_compiler: true,
+                stall_hardware: true,
+            },
+            threshold => {
+                let pct = threshold
+                    .strip_prefix("O>")
+                    .or_else(|| threshold.strip_prefix("o>"))?
+                    .strip_suffix('%')?;
+                Mode::Threshold(pct.parse().ok()?)
+            }
+        })
     }
 }
 
@@ -267,94 +311,129 @@ impl Harness {
     /// Propagates simulation failures; returns
     /// [`ExperimentError::WrongOutput`] if the TLS run diverges.
     pub fn run(&self, mode: Mode) -> Result<SimResult, ExperimentError> {
+        self.run_traced(mode, &mut NullTracer)
+    }
+
+    /// Like [`Harness::run`], but streams the run's [`tls_sim::TraceEvent`]s
+    /// into `tracer`. Tracing never changes simulated timing, so the result
+    /// is identical to [`Harness::run`]'s.
+    ///
+    /// # Errors
+    /// Propagates simulation failures; returns
+    /// [`ExperimentError::WrongOutput`] if the TLS run diverges.
+    pub fn run_traced<T: Tracer>(
+        &self,
+        mode: Mode,
+        tracer: &mut T,
+    ) -> Result<SimResult, ExperimentError> {
         let base = self.base.clone();
-        let result = match mode {
-            Mode::Seq => {
-                let cfg = SimConfig {
+        // Resolve the mode to (module, config, oracle) and simulate once.
+        let (module, cfg, oracle) = match mode {
+            Mode::Seq => (
+                &self.set_c.seq,
+                SimConfig {
                     parallelize: false,
                     ..base
-                };
-                Machine::new(&self.set_c.seq, cfg).run()?
-            }
-            Mode::Unsync => Machine::new(&self.set_c.unsync, base).run()?,
-            Mode::OracleAll => {
-                let cfg = SimConfig {
+                },
+                None,
+            ),
+            Mode::Unsync => (&self.set_c.unsync, base, None),
+            Mode::OracleAll => (
+                &self.set_c.unsync,
+                SimConfig {
                     oracle_sel: OracleSel::AllLoads,
                     ..base
-                };
-                Machine::with_oracle(&self.set_c.unsync, cfg, &self.oracle_u).run()?
-            }
+                },
+                Some(&self.oracle_u),
+            ),
             Mode::Threshold(p) => {
                 let loads = loads_above_threshold(
                     &self.set_c.dep_profile,
                     &self.set_c.regions,
                     p as f64 / 100.0,
                 );
-                let cfg = SimConfig {
-                    oracle_sel: OracleSel::Sids(loads),
-                    ..base
-                };
-                Machine::with_oracle(&self.set_c.unsync, cfg, &self.oracle_u).run()?
+                (
+                    &self.set_c.unsync,
+                    SimConfig {
+                        oracle_sel: OracleSel::Sids(loads),
+                        ..base
+                    },
+                    Some(&self.oracle_u),
+                )
             }
-            Mode::CompilerTrain => Machine::new(&self.set_t.synced, base).run()?,
-            Mode::CompilerRef => Machine::new(&self.set_c.synced, base).run()?,
-            Mode::PerfectSync => {
-                let cfg = SimConfig {
+            Mode::CompilerTrain => (&self.set_t.synced, base, None),
+            Mode::CompilerRef => (&self.set_c.synced, base, None),
+            Mode::PerfectSync => (
+                &self.set_c.synced,
+                SimConfig {
                     sync_load_policy: SyncLoadPolicy::Oracle,
                     ..base
-                };
-                Machine::with_oracle(&self.set_c.synced, cfg, &self.oracle_c).run()?
-            }
-            Mode::LateSync => {
-                let cfg = SimConfig {
+                },
+                Some(&self.oracle_c),
+            ),
+            Mode::LateSync => (
+                &self.set_c.synced,
+                SimConfig {
                     sync_load_policy: SyncLoadPolicy::StallTillOldest,
                     ..base
-                };
-                Machine::new(&self.set_c.synced, cfg).run()?
-            }
-            Mode::HwPredict => {
-                let cfg = SimConfig {
+                },
+                None,
+            ),
+            Mode::HwPredict => (
+                &self.set_c.unsync,
+                SimConfig {
                     hw_predict: true,
                     ..base
-                };
-                Machine::new(&self.set_c.unsync, cfg).run()?
-            }
-            Mode::HwSync => {
-                let cfg = SimConfig {
+                },
+                None,
+            ),
+            Mode::HwSync => (
+                &self.set_c.unsync,
+                SimConfig {
                     hw_sync: true,
                     ..base
-                };
-                Machine::new(&self.set_c.unsync, cfg).run()?
-            }
-            Mode::Hybrid => {
-                let cfg = SimConfig {
+                },
+                None,
+            ),
+            Mode::Hybrid => (
+                &self.set_c.synced,
+                SimConfig {
                     hw_sync: true,
                     ..base
-                };
-                Machine::new(&self.set_c.synced, cfg).run()?
-            }
-            Mode::HybridFiltered => {
-                let cfg = SimConfig {
+                },
+                None,
+            ),
+            Mode::HybridFiltered => (
+                &self.set_c.synced,
+                SimConfig {
                     hw_sync: true,
                     hybrid_filter: true,
                     ..base
-                };
-                Machine::new(&self.set_c.synced, cfg).run()?
-            }
+                },
+                None,
+            ),
             Mode::Marking {
                 stall_compiler,
                 stall_hardware,
             } => {
                 let marked: HashSet<tls_ir::Sid> = self.set_c.marked_loads.clone();
-                let cfg = SimConfig {
-                    mark_compiler: marked.clone(),
-                    stall_marked: stall_compiler.then_some(marked),
-                    hw_sync: stall_hardware,
-                    ..base
-                };
-                Machine::new(&self.set_c.unsync, cfg).run()?
+                (
+                    &self.set_c.unsync,
+                    SimConfig {
+                        mark_compiler: marked.clone(),
+                        stall_marked: stall_compiler.then_some(marked),
+                        hw_sync: stall_hardware,
+                        ..base
+                    },
+                    None,
+                )
             }
         };
+        let machine = match oracle {
+            Some(o) => Machine::with_oracle(module, cfg, o),
+            None => Machine::new(module, cfg),
+        };
+        let result = machine.run_traced(tracer)?;
         if let Some(detail) = self.check(&result) {
             return Err(ExperimentError::WrongOutput {
                 workload: self.name.clone(),

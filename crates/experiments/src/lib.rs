@@ -28,6 +28,7 @@
 //! scoped-thread pool (deterministic: output is byte-identical to a serial
 //! run); the [`bench`] module measures the pipeline itself.
 
+pub mod attrib;
 pub mod bench;
 pub mod figures;
 pub mod fuzz;

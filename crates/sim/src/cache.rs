@@ -45,22 +45,29 @@ impl SetAssocCache {
     /// Access `line`: returns true on hit. Misses install the line,
     /// evicting the LRU way.
     pub fn access(&mut self, line: i64) -> bool {
+        self.access_evict(line).0
+    }
+
+    /// Like [`SetAssocCache::access`], but also reports the valid line the
+    /// miss evicted, if any (observability: speculative-state evictions).
+    pub fn access_evict(&mut self, line: i64) -> (bool, Option<i64>) {
         self.clock += 1;
         let set = self.set_of(line);
         let base = set * self.ways;
         for w in 0..self.ways {
             if self.tags[base + w] == Some(line) {
                 self.stamps[base + w] = self.clock;
-                return true;
+                return (true, None);
             }
         }
         // Miss: evict LRU.
         let victim = (0..self.ways)
             .min_by_key(|&w| self.stamps[base + w])
             .expect("ways > 0");
+        let evicted = self.tags[base + victim];
         self.tags[base + victim] = Some(line);
         self.stamps[base + victim] = self.clock;
-        false
+        (false, evicted)
     }
 
     /// Is `line` present (no state change)?
@@ -109,13 +116,21 @@ impl MemSystem {
     /// Latency of core `core` accessing the word at `addr`; fills caches on
     /// the way.
     pub fn access(&mut self, core: usize, addr: i64) -> u64 {
+        self.access_evict(core, addr).0
+    }
+
+    /// Like [`MemSystem::access`], but also reports the line evicted from
+    /// the accessing core's L1, if the access evicted one. Timing-identical
+    /// to [`MemSystem::access`].
+    pub fn access_evict(&mut self, core: usize, addr: i64) -> (u64, Option<i64>) {
         let line = line_of(addr);
-        if self.l1[core].access(line) {
-            self.l1_lat
+        let (l1_hit, evicted) = self.l1[core].access_evict(line);
+        if l1_hit {
+            (self.l1_lat, None)
         } else if self.l2.access(line) {
-            self.l2_lat
+            (self.l2_lat, evicted)
         } else {
-            self.mem_lat
+            (self.mem_lat, evicted)
         }
     }
 

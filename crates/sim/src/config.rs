@@ -121,6 +121,10 @@ pub struct SimConfig {
     /// often each compiler-synchronized load actually uses its forwarded
     /// value, and stops waiting on the ones that rarely do.
     pub hybrid_filter: bool,
+    /// Cycle interval between cumulative slot-breakdown samples emitted to
+    /// an enabled tracer (`0` disables sampling). Sampling only affects the
+    /// event stream, never simulated timing.
+    pub trace_interval: u64,
     /// Safety net: maximum dynamic instructions per simulation.
     pub max_steps: u64,
     /// **Fault injection, test-only.** Disables the `use_forwarded_value`
@@ -172,6 +176,7 @@ impl SimConfig {
             word_grain: false,
             relay_forwarding: false,
             hybrid_filter: false,
+            trace_interval: 0,
             max_steps: 4_000_000_000,
             break_forwarded_recovery: false,
         }

@@ -30,19 +30,26 @@
 
 mod cache;
 mod config;
+mod events;
 mod hwsync;
 mod machine;
 mod spec;
 mod stats;
 mod timing;
+mod trace;
 
 pub use cache::{MemSystem, SetAssocCache};
 pub use config::{OracleSel, SimConfig, SyncLoadPolicy};
+pub use events::{NullTracer, SignalKind, TraceEvent, Tracer, ViolationKind, WaitKind};
 pub use hwsync::{ValuePredictor, ViolationTable};
 pub use machine::{Machine, SimError};
 pub use spec::{MemSignal, ReadSet, SyncState, WriteBuffer};
 pub use stats::{RegionStats, SimResult, SlotBreakdown, ViolationClass};
 pub use timing::{BranchPredictor, CoreTimer};
+pub use trace::{
+    ascii_timeline, check_event_stream, parse_json, perfetto_json, replay_slots,
+    validate_perfetto, CountingTracer, EventStreamStats, Json, RecordingTracer, ReplayedRegion,
+};
 
 /// Simulate `module` under `config` (no oracle).
 ///

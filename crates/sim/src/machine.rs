@@ -31,6 +31,7 @@ use tls_profile::{Memory, OracleKey, ValueOracle};
 
 use crate::cache::MemSystem;
 use crate::config::{OracleSel, SimConfig, SyncLoadPolicy};
+use crate::events::{NullTracer, SignalKind, TraceEvent, Tracer, ViolationKind, WaitKind};
 use crate::hwsync::{ValuePredictor, ViolationTable};
 use crate::spec::{MemSignal, ReadSet, SyncState, WriteBuffer};
 use crate::stats::{RegionStats, SimResult, SlotBreakdown, ViolationClass};
@@ -142,6 +143,11 @@ struct Pending {
     producer: u64,
     consumer: u64,
     sid: Sid,
+    /// Sid of the producer's first store into the conflicting line
+    /// (dependence-edge attribution; no timing effect).
+    store_sid: Option<Sid>,
+    /// Word address the consumer loaded.
+    addr: i64,
 }
 
 /// One squash request produced by a step.
@@ -150,6 +156,14 @@ struct SquashReq {
     victim: u64,
     time: u64,
     load_sid: Option<Sid>,
+    /// Offending store of the triggering dependence, if known (tracing).
+    store_sid: Option<Sid>,
+    /// Word address of the dependence, if known (tracing).
+    addr: Option<i64>,
+    /// Producer epoch of the dependence, if known (tracing).
+    producer: Option<u64>,
+    /// How the violation was detected (tracing).
+    kind: ViolationKind,
 }
 
 /// Tracks one active sequential-mode region instance (attribution only).
@@ -317,7 +331,20 @@ impl<'m> Machine<'m> {
     ///
     /// # Errors
     /// See [`SimError`].
-    pub fn run(mut self) -> Result<SimResult, SimError> {
+    pub fn run(self) -> Result<SimResult, SimError> {
+        self.run_traced(&mut NullTracer)
+    }
+
+    /// Like [`Machine::run`], streaming typed [`TraceEvent`]s to `tracer`.
+    ///
+    /// Tracing is statically dispatched and observational only: for any
+    /// tracer the simulated timing, outputs and statistics are identical to
+    /// [`Machine::run`], and with [`NullTracer`] every emission site is
+    /// compiled out.
+    ///
+    /// # Errors
+    /// See [`SimError`].
+    pub fn run_traced<T: Tracer>(mut self, tracer: &mut T) -> Result<SimResult, SimError> {
         let entry = self.module.func(self.module.entry);
         assert_eq!(entry.num_params, 0, "entry function must take no parameters");
         let mut frames = vec![Frame::new(self.module, self.module.entry, 0)];
@@ -345,6 +372,7 @@ impl<'m> Machine<'m> {
                             &mut timer,
                             seq_core,
                             &mut seq_regions,
+                            tracer,
                         )?;
                     }
                     Terminator::Br { cond, t, f } => {
@@ -363,6 +391,7 @@ impl<'m> Machine<'m> {
                             &mut timer,
                             seq_core,
                             &mut seq_regions,
+                            tracer,
                         )?;
                     }
                     Terminator::Ret(v) => {
@@ -502,13 +531,15 @@ impl<'m> Machine<'m> {
 
     /// Sequential-mode control transfer; may enter a region (parallel mode)
     /// or maintain sequential-region bookkeeping.
-    fn seq_transfer(
+    #[allow(clippy::too_many_arguments)]
+    fn seq_transfer<T: Tracer>(
         &mut self,
         to: BlockId,
         frames: &mut [Frame],
         timer: &mut CoreTimer,
         seq_core: usize,
         seq_regions: &mut Vec<SeqRegion>,
+        tracer: &mut T,
     ) -> Result<(), SimError> {
         let depth = frames.len();
         let frame_func = frames.last().expect("nonempty").func;
@@ -525,7 +556,7 @@ impl<'m> Machine<'m> {
             if self.config.parallelize {
                 let ord = self.region_ord;
                 self.region_ord += 1;
-                self.run_region(rid, ord, to, frames, timer, seq_core)?;
+                self.run_region(rid, ord, to, frames, timer, seq_core, tracer)?;
                 return Ok(());
             }
             // Sequential attribution.
@@ -583,7 +614,8 @@ impl<'m> Machine<'m> {
 
     /// Execute one region instance in parallel; on return, `frames`'s top
     /// frame has been advanced past the loop.
-    fn run_region(
+    #[allow(clippy::too_many_arguments)]
+    fn run_region<T: Tracer>(
         &mut self,
         rid: RegionId,
         ord: u64,
@@ -591,8 +623,12 @@ impl<'m> Machine<'m> {
         frames: &mut [Frame],
         timer: &mut CoreTimer,
         seq_core: usize,
+        tracer: &mut T,
     ) -> Result<(), SimError> {
         let t0 = self.time;
+        if T::ENABLED {
+            tracer.event(TraceEvent::RegionEnter { rid, ord, time: t0 });
+        }
         let base = frames.last().expect("nonempty").clone();
         let cores = self.config.cores;
 
@@ -625,8 +661,25 @@ impl<'m> Machine<'m> {
                 )
             })
             .collect();
+        if T::ENABLED {
+            for e in &epochs {
+                tracer.event(TraceEvent::EpochSpawn {
+                    rid,
+                    ord,
+                    epoch: e.index,
+                    core: e.core,
+                    time: e.attempt_start,
+                });
+            }
+        }
         let mut next_index = cores as u64;
         let mut token_time = t0;
+        // Next cumulative slot-sample boundary (tracing only).
+        let mut next_sample = if T::ENABLED && self.config.trace_interval > 0 {
+            t0 + self.config.trace_interval
+        } else {
+            u64::MAX
+        };
         let mut pendings: Vec<Pending> = Vec::new();
         let mut attributed: u64 = 0;
         let mut stats = RegionStats {
@@ -658,10 +711,17 @@ impl<'m> Machine<'m> {
                             victim,
                             time: start,
                             load_sid: Some(sid),
+                            store_sid: None,
+                            addr: Some(addr),
+                            producer: None,
+                            kind: ViolationKind::Mispredict,
                         },
                         &mut pendings,
                         &mut stats,
                         &mut attributed,
+                        rid,
+                        ord,
+                        tracer,
                     );
                     continue;
                 }
@@ -695,6 +755,27 @@ impl<'m> Machine<'m> {
                 attributed += slots;
                 stats.epochs += 1;
                 token_time = commit_done;
+                if T::ENABLED {
+                    tracer.event(TraceEvent::EpochCommit {
+                        rid,
+                        ord,
+                        epoch: e.index,
+                        core: e.core,
+                        start: e.attempt_start,
+                        end: commit_done,
+                        graduated: e.timer.graduated(),
+                        sync_cycles: e.sync_cycles,
+                    });
+                    while commit_done >= next_sample {
+                        tracer.event(TraceEvent::SlotSample {
+                            rid,
+                            ord,
+                            time: next_sample,
+                            slots: stats.slots,
+                        });
+                        next_sample += self.config.trace_interval;
+                    }
+                }
                 // Wake the new oldest epoch if it was stalling till oldest.
                 if let Some(head) = epochs.first_mut() {
                     if let Status::WaitOldest(since) = head.status {
@@ -702,6 +783,17 @@ impl<'m> Machine<'m> {
                         head.clock = since.max(commit_done);
                         head.sync_cycles += head.clock - since;
                         head.timer.stall_until(head.clock);
+                        if T::ENABLED {
+                            tracer.event(TraceEvent::WaitEnd {
+                                rid,
+                                ord,
+                                epoch: head.index,
+                                core: head.core,
+                                kind: WaitKind::Oldest,
+                                since,
+                                time: head.clock,
+                            });
+                        }
                     }
                 }
                 // Fire pending violations produced by this commit.
@@ -724,10 +816,17 @@ impl<'m> Machine<'m> {
                             victim: v.consumer,
                             time: commit_done,
                             load_sid: Some(v.sid),
+                            store_sid: v.store_sid,
+                            addr: Some(v.addr),
+                            producer: Some(v.producer),
+                            kind: ViolationKind::CommitTime,
                         },
                         &mut pendings,
                         &mut stats,
                         &mut attributed,
+                        rid,
+                        ord,
+                        tracer,
                     );
                 }
                 if let Some(exit_block) = exit {
@@ -736,12 +835,38 @@ impl<'m> Machine<'m> {
                         let cycles = commit_done.saturating_sub(cancelled.attempt_start);
                         stats.slots.fail += cycles * w;
                         attributed += cycles * w;
+                        if T::ENABLED {
+                            Self::emit_wait_end(
+                                tracer,
+                                rid,
+                                ord,
+                                cancelled,
+                                commit_done.max(cancelled.attempt_start),
+                            );
+                            tracer.event(TraceEvent::EpochCancel {
+                                rid,
+                                ord,
+                                epoch: cancelled.index,
+                                core: cancelled.core,
+                                start: cancelled.attempt_start,
+                                end: commit_done.max(cancelled.attempt_start),
+                            });
+                        }
                     }
                     break 'region (exit_block, e.frames[0].regs.clone(), commit_done);
                 }
                 // Freed core picks up the next epoch.
                 let spawn_at = commit_done + self.config.spawn_overhead;
                 let ep = self.spawn_epoch(next_index, e.core, spawn_at, &base, header);
+                if T::ENABLED {
+                    tracer.event(TraceEvent::EpochSpawn {
+                        rid,
+                        ord,
+                        epoch: ep.index,
+                        core: ep.core,
+                        time: spawn_at,
+                    });
+                }
                 epochs.push(ep);
                 next_index += 1;
             }
@@ -758,6 +883,17 @@ impl<'m> Machine<'m> {
                             e.clock = since.max(ready);
                             e.sync_cycles += e.clock - since;
                             e.timer.stall_until(e.clock);
+                            if T::ENABLED {
+                                tracer.event(TraceEvent::WaitEnd {
+                                    rid,
+                                    ord,
+                                    epoch: e.index,
+                                    core: e.core,
+                                    kind: WaitKind::Scalar(chan),
+                                    since,
+                                    time: e.clock,
+                                });
+                            }
                         }
                     }
                     Status::WaitMem(group, since) => {
@@ -766,6 +902,17 @@ impl<'m> Machine<'m> {
                             e.clock = since.max(sig.ready_at);
                             e.sync_cycles += e.clock - since;
                             e.timer.stall_until(e.clock);
+                            if T::ENABLED {
+                                tracer.event(TraceEvent::WaitEnd {
+                                    rid,
+                                    ord,
+                                    epoch: e.index,
+                                    core: e.core,
+                                    kind: WaitKind::Mem(group),
+                                    since,
+                                    time: e.clock,
+                                });
+                            }
                         }
                     }
                     _ => {}
@@ -786,7 +933,16 @@ impl<'m> Machine<'m> {
                 return Err(SimError::Deadlock { time: self.time });
             };
             self.bump_steps()?;
-            let req = self.step_epoch(&mut epochs, i, ord, header, rid, &committed_out, &mut pendings)?;
+            let req = self.step_epoch(
+                &mut epochs,
+                i,
+                ord,
+                header,
+                rid,
+                &committed_out,
+                &mut pendings,
+                tracer,
+            )?;
             if let Some(req) = req {
                 self.squash(
                     &mut epochs,
@@ -796,11 +952,21 @@ impl<'m> Machine<'m> {
                     &mut pendings,
                     &mut stats,
                     &mut attributed,
+                    rid,
+                    ord,
+                    tracer,
                 );
             }
         };
 
         let (exit_block, final_regs, end_time) = end;
+        if T::ENABLED {
+            tracer.event(TraceEvent::RegionExit {
+                rid,
+                ord,
+                time: end_time,
+            });
+        }
         stats.cycles += end_time.saturating_sub(t0);
         let total_slots = (cores as u64) * w * end_time.saturating_sub(t0);
         stats.slots.other += total_slots.saturating_sub(attributed);
@@ -829,9 +995,29 @@ impl<'m> Machine<'m> {
         Ok(())
     }
 
+    /// Emit a `WaitEnd` closing `e`'s open wait, if it has one, at `time`
+    /// (used when a squash or cancel ends an attempt mid-wait).
+    fn emit_wait_end<T: Tracer>(tracer: &mut T, rid: RegionId, ord: u64, e: &Epoch, time: u64) {
+        let (kind, since) = match e.status {
+            Status::WaitScalar(chan, since) => (WaitKind::Scalar(chan), since),
+            Status::WaitMem(group, since) => (WaitKind::Mem(group), since),
+            Status::WaitOldest(since) => (WaitKind::Oldest, since),
+            Status::Running | Status::Done => return,
+        };
+        tracer.event(TraceEvent::WaitEnd {
+            rid,
+            ord,
+            epoch: e.index,
+            core: e.core,
+            kind,
+            since,
+            time: time.max(since),
+        });
+    }
+
     /// Squash `req.victim` and every later active epoch; restart them.
     #[allow(clippy::too_many_arguments)]
-    fn squash(
+    fn squash<T: Tracer>(
         &mut self,
         epochs: &mut [Epoch],
         base: &Frame,
@@ -840,8 +1026,29 @@ impl<'m> Machine<'m> {
         pendings: &mut Vec<Pending>,
         stats: &mut RegionStats,
         attributed: &mut u64,
+        rid: RegionId,
+        ord: u64,
+        tracer: &mut T,
     ) {
         let w = self.config.issue_width;
+        if T::ENABLED {
+            let core = epochs
+                .iter()
+                .find(|e| e.index == req.victim)
+                .map_or(0, |e| e.core);
+            tracer.event(TraceEvent::Violation {
+                rid,
+                ord,
+                kind: req.kind,
+                load_sid: req.load_sid,
+                store_sid: req.store_sid,
+                addr: req.addr,
+                producer: req.producer,
+                consumer: req.victim,
+                core,
+                time: req.time,
+            });
+        }
         if let Some(sid) = req.load_sid {
             let class = match (
                 self.config.mark_compiler.contains(&sid),
@@ -863,6 +1070,20 @@ impl<'m> Machine<'m> {
             *attributed += cycles * w;
             stats.violations += 1;
             let restart = req.time.max(e.clock) + self.config.restart_penalty;
+            if T::ENABLED {
+                Self::emit_wait_end(tracer, rid, ord, e, now);
+                tracer.event(TraceEvent::EpochSquash {
+                    rid,
+                    ord,
+                    epoch: e.index,
+                    core: e.core,
+                    start: e.attempt_start,
+                    end: now,
+                    restart,
+                    load_sid: req.load_sid,
+                    store_sid: req.store_sid,
+                });
+            }
             let mut frame = base.clone();
             frame.block = header;
             frame.idx = 0;
@@ -888,7 +1109,7 @@ impl<'m> Machine<'m> {
     /// Execute one instruction (or terminator) of epoch `i`; returns a
     /// squash request if the step violated a later epoch.
     #[allow(clippy::too_many_arguments)]
-    fn step_epoch(
+    fn step_epoch<T: Tracer>(
         &mut self,
         epochs: &mut [Epoch],
         i: usize,
@@ -897,6 +1118,7 @@ impl<'m> Machine<'m> {
         rid: RegionId,
         committed_out: &SyncState,
         pendings: &mut Vec<Pending>,
+        tracer: &mut T,
     ) -> Result<Option<SquashReq>, SimError> {
         let (older, rest) = epochs.split_at_mut(i);
         let (cur, younger) = rest.split_at_mut(1);
@@ -1002,6 +1224,16 @@ impl<'m> Machine<'m> {
                     None => {
                         e.status = Status::WaitScalar(*chan, e.clock);
                         // Do not advance idx: re-execute on wake.
+                        if T::ENABLED {
+                            tracer.event(TraceEvent::WaitBegin {
+                                rid,
+                                ord,
+                                epoch: e.index,
+                                core: e.core,
+                                kind: WaitKind::Scalar(*chan),
+                                time: e.clock,
+                            });
+                        }
                     }
                     Some(&(v, ready)) => {
                         let (issue, complete) = e.timer.issue(ready, self.config.lat_alu);
@@ -1009,6 +1241,18 @@ impl<'m> Machine<'m> {
                         frame.regs[dst.index()] = v;
                         frame.ready[dst.index()] = complete;
                         frame.idx += 1;
+                        if T::ENABLED {
+                            tracer.event(TraceEvent::SignalRecv {
+                                rid,
+                                ord,
+                                epoch: e.index,
+                                core: e.core,
+                                kind: SignalKind::Scalar(*chan),
+                                addr: None,
+                                value: v,
+                                time: issue,
+                            });
+                        }
                     }
                 }
             }
@@ -1020,6 +1264,18 @@ impl<'m> Machine<'m> {
                     .out_scalars
                     .insert(*chan, (v, issue + self.config.forward_lat));
                 frame.idx += 1;
+                if T::ENABLED {
+                    tracer.event(TraceEvent::SignalSend {
+                        rid,
+                        ord,
+                        epoch: e.index,
+                        core: e.core,
+                        kind: SignalKind::Scalar(*chan),
+                        addr: None,
+                        value: v,
+                        time: issue,
+                    });
+                }
             }
             Instr::SignalMem { group, addr, off, val, .. } => {
                 let (a, ra) = eval_in(&self.code.global_addrs,frame, *addr);
@@ -1037,6 +1293,18 @@ impl<'m> Machine<'m> {
                 );
                 e.sync.push_sig_buf(*group, a);
                 frame.idx += 1;
+                if T::ENABLED {
+                    tracer.event(TraceEvent::SignalSend {
+                        rid,
+                        ord,
+                        epoch: e.index,
+                        core: e.core,
+                        kind: SignalKind::Mem(*group),
+                        addr: Some(a),
+                        value: v,
+                        time: issue,
+                    });
+                }
             }
             Instr::SignalMemNull { group } => {
                 let (issue, _) = e.timer.issue(0, self.config.lat_alu);
@@ -1081,6 +1349,19 @@ impl<'m> Machine<'m> {
                         );
                     }
                 }
+                if T::ENABLED {
+                    let sent = e.sync.out_mems[group];
+                    tracer.event(TraceEvent::SignalSend {
+                        rid,
+                        ord,
+                        epoch: e.index,
+                        core: e.core,
+                        kind: SignalKind::MemNull(*group),
+                        addr: sent.addr,
+                        value: sent.value,
+                        time: issue,
+                    });
+                }
                 frame.idx += 1;
             }
             Instr::Store { val, addr, off, sid } => {
@@ -1089,12 +1370,12 @@ impl<'m> Machine<'m> {
                 let a = a.wrapping_add(*off);
                 let (issue, _) = e.timer.issue(ra.max(rv), self.config.lat_alu);
                 e.clock = issue;
-                e.wb.store(a, v);
+                e.wb.store(a, v, *sid);
                 frame.idx += 1;
                 // Signal-address-buffer check: re-signal and violate the
                 // consumer (§2.2 "p, q and y all point to the same
                 // location").
-                let mut victim: Option<(u64, Option<Sid>)> = None;
+                let mut victim: Option<(u64, Option<Sid>, ViolationKind)> = None;
                 for g in e.sync.buffered_groups_at(a) {
                     // Re-signal the updated value; restart the consumer only
                     // if it already used the stale one (§2.2).
@@ -1106,9 +1387,21 @@ impl<'m> Machine<'m> {
                             ready_at: issue + self.config.forward_lat,
                         },
                     );
+                    if T::ENABLED {
+                        tracer.event(TraceEvent::SignalSend {
+                            rid,
+                            ord,
+                            epoch: e.index,
+                            core: e.core,
+                            kind: SignalKind::Mem(g),
+                            addr: Some(a),
+                            value: v,
+                            time: issue,
+                        });
+                    }
                     if let Some(succ) = younger.first() {
                         if succ.consumed[g.index()] {
-                            victim = Some((succ.index, Some(*sid)));
+                            victim = Some((succ.index, Some(*sid), ViolationKind::Resignal));
                         }
                     }
                 }
@@ -1122,17 +1415,25 @@ impl<'m> Machine<'m> {
                     };
                     if conflict {
                         let lsid = y.reads.line_reader(line);
-                        if victim.is_none_or(|(v0, _)| y.index < v0) {
-                            victim = Some((y.index, lsid));
+                        if victim.is_none_or(|(v0, _, _)| y.index < v0) {
+                            victim = Some((y.index, lsid, ViolationKind::Eager));
                         }
                         break; // epochs are in index order: first hit is youngest-older... keep scanning? They're ascending: first conflict is the oldest conflicting — squash cascades anyway.
                     }
                 }
-                if let Some((v0, lsid)) = victim {
+                if let Some((v0, lsid, kind)) = victim {
+                    // The squash request names the load of the edge (`lsid`,
+                    // for resignal victims the store's sid stands in since
+                    // the consumed forward has no plain-load sid) and this
+                    // store as the producer side.
                     return Ok(Some(SquashReq {
                         victim: v0,
                         time: issue,
                         load_sid: lsid,
+                        store_sid: Some(*sid),
+                        addr: Some(a),
+                        producer: Some(e.index),
+                        kind,
                     }));
                 }
             }
@@ -1173,6 +1474,16 @@ impl<'m> Machine<'m> {
                 if !is_oldest && (hw_flagged || mark_flagged) {
                     e.occ[sid.index()] -= 1;
                     e.status = Status::WaitOldest(e.clock);
+                    if T::ENABLED {
+                        tracer.event(TraceEvent::WaitBegin {
+                            rid,
+                            ord,
+                            epoch: e.index,
+                            core: e.core,
+                            kind: WaitKind::Oldest,
+                            time: e.clock,
+                        });
+                    }
                     return Ok(None);
                 }
                 // Hardware value prediction (mode P) for flagged loads. A
@@ -1196,7 +1507,7 @@ impl<'m> Machine<'m> {
                 }
                 let dst = *dst;
                 let sid = *sid;
-                self.epoch_plain_load(e, older, a, sid, pendings, r, dst);
+                self.epoch_plain_load(e, older, a, sid, pendings, r, dst, rid, ord, tracer);
                 e.frames.last_mut().expect("nonempty").idx += 1;
             }
             Instr::SyncLoad { dst, addr, off, group, sid } => {
@@ -1221,15 +1532,25 @@ impl<'m> Machine<'m> {
                             frame.ready[dst.index()] = complete;
                         } else {
                             e.occ[sid.index()] -= 1;
-                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst);
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, rid, ord, tracer);
                         }
                         e.frames.last_mut().expect("nonempty").idx += 1;
                     }
                     SyncLoadPolicy::StallTillOldest => {
                         if !is_oldest {
                             e.status = Status::WaitOldest(e.clock);
+                            if T::ENABLED {
+                                tracer.event(TraceEvent::WaitBegin {
+                                    rid,
+                                    ord,
+                                    epoch: e.index,
+                                    core: e.core,
+                                    kind: WaitKind::Oldest,
+                                    time: e.clock,
+                                });
+                            }
                         } else {
-                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst);
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, rid, ord, tracer);
                             e.frames.last_mut().expect("nonempty").idx += 1;
                         }
                     }
@@ -1255,16 +1576,36 @@ impl<'m> Machine<'m> {
                             && self.viol_table.contains(sid, e.clock)
                         {
                             e.status = Status::WaitOldest(e.clock);
+                            if T::ENABLED {
+                                tracer.event(TraceEvent::WaitBegin {
+                                    rid,
+                                    ord,
+                                    epoch: e.index,
+                                    core: e.core,
+                                    kind: WaitKind::Oldest,
+                                    time: e.clock,
+                                });
+                            }
                             return Ok(None);
                         }
                         if filtered_out {
-                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst);
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, rid, ord, tracer);
                             e.frames.last_mut().expect("nonempty").idx += 1;
                             return Ok(None);
                         }
                         match pred_out.out_mems.get(&group).copied() {
                             None => {
                                 e.status = Status::WaitMem(group, e.clock);
+                                if T::ENABLED {
+                                    tracer.event(TraceEvent::WaitBegin {
+                                        rid,
+                                        ord,
+                                        epoch: e.index,
+                                        core: e.core,
+                                        kind: WaitKind::Mem(group),
+                                        time: e.clock,
+                                    });
+                                }
                             }
                             Some(sig) => {
                                 self.forward_usefulness[sid.index()].0 += 1;
@@ -1297,6 +1638,18 @@ impl<'m> Machine<'m> {
                                     let frame = e.frames.last_mut().expect("nonempty");
                                     frame.regs[dst.index()] = sig.value;
                                     frame.ready[dst.index()] = complete;
+                                    if T::ENABLED {
+                                        tracer.event(TraceEvent::SignalRecv {
+                                            rid,
+                                            ord,
+                                            epoch: e.index,
+                                            core: e.core,
+                                            kind: SignalKind::Mem(group),
+                                            addr: sig.addr,
+                                            value: sig.value,
+                                            time: issue,
+                                        });
+                                    }
                                 } else {
                                     // NULL or mismatched address: plain load.
                                     self.epoch_plain_load(
@@ -1307,6 +1660,9 @@ impl<'m> Machine<'m> {
                                         pendings,
                                         r.max(sig.ready_at),
                                         dst,
+                                        rid,
+                                        ord,
+                                        tracer,
                                     );
                                 }
                                 e.frames.last_mut().expect("nonempty").idx += 1;
@@ -1323,7 +1679,7 @@ impl<'m> Machine<'m> {
     /// committed memory with read-set tracking and pending-violation
     /// registration.
     #[allow(clippy::too_many_arguments)]
-    fn epoch_plain_load(
+    fn epoch_plain_load<T: Tracer>(
         &mut self,
         e: &mut Epoch,
         older: &[Epoch],
@@ -1332,6 +1688,9 @@ impl<'m> Machine<'m> {
         pendings: &mut Vec<Pending>,
         ready: u64,
         dst: Var,
+        _rid: RegionId,
+        _ord: u64,
+        tracer: &mut T,
     ) -> i64 {
         let frame = e.frames.last_mut().expect("nonempty");
         if let Some(v) = e.wb.load(a) {
@@ -1342,7 +1701,24 @@ impl<'m> Machine<'m> {
             return v;
         }
         let v = self.mem.read(a);
-        let lat = self.caches.access(e.core, a);
+        // Timing-identical to `access`; the eviction report only feeds the
+        // tracer.
+        let lat = if T::ENABLED {
+            let (lat, evicted) = self.caches.access_evict(e.core, a);
+            if let Some(victim_line) = evicted {
+                let speculative = e.reads.line_reader(victim_line).is_some()
+                    || e.wb.wrote_line(victim_line);
+                tracer.event(TraceEvent::LineEvict {
+                    core: e.core,
+                    line: victim_line,
+                    speculative,
+                    time: e.clock,
+                });
+            }
+            lat
+        } else {
+            self.caches.access(e.core, a)
+        };
         let (issue, complete) = e.timer.issue(ready, lat);
         e.clock = issue;
         frame.regs[dst.index()] = v;
@@ -1363,6 +1739,8 @@ impl<'m> Machine<'m> {
                 producer: p.index,
                 consumer: e.index,
                 sid,
+                store_sid: p.wb.line_writer(line),
+                addr: a,
             });
         }
         if self.config.hw_predict {

@@ -11,19 +11,22 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use tls_ir::{line_of, ChanId, GroupId, Sid};
 
-/// Speculative write buffer: word values plus touched-line bookkeeping.
+/// Speculative write buffer: word values plus touched-line bookkeeping
+/// (each dirty line remembers the first static store that wrote it, for
+/// dependence-edge attribution).
 #[derive(Clone, Debug, Default)]
 pub struct WriteBuffer {
     /// Word → value. `BTreeMap` so commit order is deterministic.
     words: BTreeMap<i64, i64>,
-    lines: HashSet<i64>,
+    /// Dirty line → sid of the first store into it.
+    lines: HashMap<i64, Sid>,
 }
 
 impl WriteBuffer {
-    /// Record a speculative store.
-    pub fn store(&mut self, addr: i64, val: i64) {
+    /// Record a speculative store by static store `sid`.
+    pub fn store(&mut self, addr: i64, val: i64, sid: Sid) {
         self.words.insert(addr, val);
-        self.lines.insert(line_of(addr));
+        self.lines.entry(line_of(addr)).or_insert(sid);
     }
 
     /// This epoch's value for `addr`, if it wrote it.
@@ -38,7 +41,12 @@ impl WriteBuffer {
 
     /// Did the epoch write anywhere in this line?
     pub fn wrote_line(&self, line: i64) -> bool {
-        self.lines.contains(&line)
+        self.lines.contains_key(&line)
+    }
+
+    /// If the epoch wrote this line, the sid of its first store into it.
+    pub fn line_writer(&self, line: i64) -> Option<Sid> {
+        self.lines.get(&line).copied()
     }
 
     /// Number of speculatively-modified lines (commit cost).
@@ -179,14 +187,17 @@ mod tests {
     #[test]
     fn write_buffer_tracks_words_and_lines() {
         let mut wb = WriteBuffer::default();
-        wb.store(10, 1);
-        wb.store(11, 2);
-        wb.store(10 + LINE_WORDS, 3);
+        wb.store(10, 1, Sid(7));
+        wb.store(11, 2, Sid(8));
+        wb.store(10 + LINE_WORDS, 3, Sid(9));
         assert_eq!(wb.load(10), Some(1));
         assert_eq!(wb.load(12), None);
         assert!(wb.wrote_word(11));
         assert!(!wb.wrote_word(12));
         assert!(wb.wrote_line(line_of(10)));
+        // First store into the line wins the attribution.
+        assert_eq!(wb.line_writer(line_of(10)), Some(Sid(7)));
+        assert_eq!(wb.line_writer(line_of(10 + LINE_WORDS)), Some(Sid(9)));
         assert_eq!(wb.dirty_lines(), 2);
         let all: Vec<_> = wb.iter().collect();
         assert_eq!(all, vec![(10, 1), (11, 2), (10 + LINE_WORDS, 3)]);

@@ -7,7 +7,7 @@
 //! hardware synchronization) and `other` (everything else). This module
 //! holds those accumulators plus the per-run summary [`SimResult`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tls_ir::{RegionId, Sid};
 use tls_profile::Memory;
@@ -54,7 +54,7 @@ impl SlotBreakdown {
 
 /// Which synchronization scheme would have covered a violating load
 /// (Figure 11 classification).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ViolationClass {
     /// Neither compiler marking nor the hardware table covered the load.
     Neither,
@@ -80,9 +80,11 @@ pub struct RegionStats {
     /// Squashed epoch attempts (violations).
     pub violations: u64,
     /// Violations classified by would-be synchronization coverage.
-    pub violation_classes: HashMap<ViolationClass, u64>,
-    /// Violations per static load id (diagnostics, hardware-table studies).
-    pub violations_by_load: HashMap<Sid, u64>,
+    /// `BTreeMap` so reports iterate in a deterministic class order.
+    pub violation_classes: BTreeMap<ViolationClass, u64>,
+    /// Violations per static load id (diagnostics, hardware-table studies),
+    /// in `Sid` order.
+    pub violations_by_load: BTreeMap<Sid, u64>,
 }
 
 /// The outcome of one simulation.
@@ -98,8 +100,8 @@ pub struct SimResult {
     pub sequential_cycles: u64,
     /// Dynamic instructions executed (committed work only).
     pub instructions: u64,
-    /// Per-region aggregates.
-    pub regions: HashMap<RegionId, RegionStats>,
+    /// Per-region aggregates, in `RegionId` order.
+    pub regions: BTreeMap<RegionId, RegionStats>,
     /// Largest signal-address-buffer occupancy observed (the paper reports
     /// that 10 entries always suffice).
     pub max_signal_buffer: usize,
@@ -119,8 +121,8 @@ impl SimResult {
     }
 
     /// Total violations classified for Figure 11.
-    pub fn violation_class_totals(&self) -> HashMap<ViolationClass, u64> {
-        let mut out = HashMap::new();
+    pub fn violation_class_totals(&self) -> BTreeMap<ViolationClass, u64> {
+        let mut out = BTreeMap::new();
         for r in self.regions.values() {
             for (k, v) in &r.violation_classes {
                 *out.entry(*k).or_insert(0) += v;

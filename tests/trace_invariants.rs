@@ -1,0 +1,123 @@
+//! Event-stream invariants over a generated fuzz corpus (tier 1).
+//!
+//! For every seed × mode pair the traced run must produce a stream that
+//! (a) passes the structural checker — every spawn closed by exactly one
+//! commit or cancel with squashes reopening attempts, wait begin/end
+//! nesting, memory-signal receives matching a prior send; (b) replays to
+//! the *exact* per-region slot breakdown, cycle count, epoch and instance
+//! totals the simulator reported — proving the stream is complete, not
+//! just well-formed; and (c) counts one squash event per reported
+//! violation, the invariant the attribution reports rely on.
+
+use tls_repro::experiments::fuzz::{FuzzConfig, ALL_MODES};
+use tls_repro::experiments::Harness;
+use tls_repro::ir::generate;
+use tls_repro::sim::{check_event_stream, replay_slots, RecordingTracer, TraceEvent};
+
+const SEEDS: u64 = 30;
+
+#[test]
+fn fuzz_corpus_event_streams_are_consistent() {
+    let cfg = FuzzConfig::default();
+    let mut seeds_with_violations = 0u64;
+    let mut seeds_with_recvs = 0u64;
+    let mut seeds_with_samples = 0u64;
+    for seed in 1..=SEEDS {
+        let measure = generate(seed, &cfg.gen, 0);
+        let train = generate(seed, &cfg.gen, 1);
+        let mut h = Harness::from_modules(
+            format!("trace-fuzz-{seed}"),
+            &measure,
+            Some(&train),
+            &cfg.compile_options(),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: prepare failed: {e}"));
+        h.base.max_steps = cfg.max_sim_steps;
+        // Exercise the sampling path too; it must not disturb replay.
+        h.base.trace_interval = 128;
+        let (w, cores) = (h.base.issue_width, h.base.cores as u64);
+        let mut saw_violation = false;
+        let mut saw_recv = false;
+        let mut saw_sample = false;
+        for mode in ALL_MODES {
+            // Sequential execution has no epochs and traces no region
+            // events; the replay invariant is about speculative runs.
+            if mode.label() == "SEQ" {
+                continue;
+            }
+            let mut rec = RecordingTracer::default();
+            let result = h
+                .run_traced(mode, &mut rec)
+                .unwrap_or_else(|e| panic!("seed {seed} mode {}: {e}", mode.label()));
+            let events = rec.events;
+
+            // (a) structural invariants.
+            let stream = check_event_stream(&events).unwrap_or_else(|e| {
+                panic!("seed {seed} mode {}: bad stream: {e}", mode.label())
+            });
+
+            // (c) one squash event per reported violation.
+            assert_eq!(
+                stream.squashes,
+                result.total_violations,
+                "seed {seed} mode {}: squash events vs violations",
+                mode.label()
+            );
+
+            // (b) exact replay of the simulator's region aggregates.
+            let replayed = replay_slots(&events, w, cores);
+            assert_eq!(
+                replayed.len(),
+                result.regions.len(),
+                "seed {seed} mode {}: region set",
+                mode.label()
+            );
+            let mut replayed_violations = 0;
+            for (rid, rep) in &replayed {
+                let reg = &result.regions[rid];
+                assert_eq!(
+                    rep.slots, reg.slots,
+                    "seed {seed} mode {} region {rid:?}: slot breakdown",
+                    mode.label()
+                );
+                assert_eq!(rep.cycles, reg.cycles, "seed {seed} region {rid:?}: cycles");
+                assert_eq!(rep.epochs, reg.epochs, "seed {seed} region {rid:?}: epochs");
+                assert_eq!(
+                    rep.instances, reg.instances,
+                    "seed {seed} region {rid:?}: instances"
+                );
+                replayed_violations += rep.violations;
+            }
+            assert_eq!(
+                replayed_violations, result.total_violations,
+                "seed {seed} mode {}: replayed violations",
+                mode.label()
+            );
+
+            saw_violation |= result.total_violations > 0;
+            saw_recv |= events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::SignalRecv { .. }));
+            saw_sample |= events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::SlotSample { .. }));
+        }
+        seeds_with_violations += u64::from(saw_violation);
+        seeds_with_recvs += u64::from(saw_recv);
+        seeds_with_samples += u64::from(saw_sample);
+    }
+    // The corpus must actually exercise the event kinds the checker
+    // validates, or the invariants above are vacuous.
+    assert!(
+        seeds_with_violations >= 3,
+        "only {seeds_with_violations}/{SEEDS} seeds squashed"
+    );
+    assert!(
+        seeds_with_recvs >= 3,
+        "only {seeds_with_recvs}/{SEEDS} seeds consumed forwarded values"
+    );
+    assert!(
+        seeds_with_samples >= 3,
+        "only {seeds_with_samples}/{SEEDS} seeds emitted slot samples"
+    );
+}
