@@ -7,9 +7,11 @@
 //! repro trace-check <perfetto.json>
 //! repro fuzz [--seed S] [--iters N] [--jobs N] [--break-forwarding]
 //!            [--replay path] [--artifacts dir]
+//! repro conform <bench> [--mode M] [--quick]
+//! repro conform --fuzz [--seed S] [--seeds N] [--jobs N]
 //!
 //! targets: fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 report all
-//!          bench list trace trace-check fuzz
+//!          bench list trace trace-check fuzz conform
 //! global flags: --verbose --quiet
 //! ```
 //!
@@ -37,6 +39,15 @@
 //! event every N cycles. `trace-check` re-validates a previously exported
 //! Perfetto file (used by CI).
 //!
+//! `conform` replays a run's event stream through the timing-free TLS
+//! protocol model (`tls_sim::check_conformance`) and reports the first
+//! divergence: an unjustified or missed squash, an out-of-order commit, a
+//! write-buffer mismatch at commit, or a forwarded value that differs from
+//! what the model says the producer sent. The bench form checks one
+//! workload under one mode (default: the whole speculative matrix); the
+//! `--fuzz` form generates `--seeds N` random programs (default 200) and
+//! checks every speculative mode of each.
+//!
 //! `fuzz` runs the differential fuzzer: `--iters N` seeds starting at
 //! `--seed S`, each generated program checked across the full mode matrix
 //! against the sequential interpreter. Failures are shrunk and written
@@ -48,7 +59,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use tls_experiments::{attrib, bench, figures, fuzz, par, Harness, Mode, Scale, Table};
+use tls_experiments::{attrib, bench, conform, figures, fuzz, par, Harness, Mode, Scale, Table};
 use tls_sim::{
     ascii_timeline, check_event_stream, perfetto_json, validate_perfetto, RecordingTracer,
 };
@@ -71,6 +82,8 @@ fn usage() -> ExitCode {
          \x20      repro trace-check <perfetto.json>\n\
          \x20      repro fuzz [--seed S] [--iters N] [--jobs N] [--break-forwarding] \
          [--replay path] [--artifacts dir]\n\
+         \x20      repro conform <bench> [--mode M] [--quick]\n\
+         \x20      repro conform --fuzz [--seed S] [--seeds N] [--jobs N]\n\
          \x20      global flags: --verbose --quiet"
     );
     ExitCode::FAILURE
@@ -352,6 +365,78 @@ fn run_fuzz_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+/// `repro conform`: lockstep conformance checking against the reference
+/// protocol model — one workload, or a fuzzing campaign with `--fuzz`.
+fn run_conform_cmd(args: &[String], verbosity: Verbosity) -> ExitCode {
+    let start = Instant::now();
+    let mut bench_name: Option<String> = None;
+    let mut mode_label: Option<String> = None;
+    let mut scale = Scale::Full;
+    let mut fuzz_form = false;
+    let mut seed: u64 = 1;
+    let mut seeds: u64 = 200;
+    let mut jobs: usize = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fuzz" => fuzz_form = true,
+            "--mode" => match it.next() {
+                Some(m) => mode_label = Some(m.clone()),
+                None => return usage(),
+            },
+            "--quick" => scale = Scale::Quick,
+            "--seed" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--seeds" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => seeds = n,
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return usage(),
+            },
+            name if bench_name.is_none() && !name.starts_with('-') => {
+                bench_name = Some(name.to_string());
+            }
+            _ => return usage(),
+        }
+    }
+    par::set_jobs(jobs);
+    let outcome = if fuzz_form {
+        if verbosity > Verbosity::Quiet {
+            eprintln!(
+                "conformance-checking {seeds} generated seed(s) from {seed} across the \
+                 speculative mode matrix..."
+            );
+        }
+        conform::conform_fuzz(seed, seeds, &fuzz::FuzzConfig::default())
+    } else {
+        let Some(bench_name) = bench_name else {
+            return usage();
+        };
+        if verbosity > Verbosity::Quiet {
+            eprintln!(
+                "conformance-checking {bench_name} under {} at {scale:?} scale...",
+                mode_label.as_deref().unwrap_or("the speculative mode matrix")
+            );
+        }
+        conform::conform_bench(&bench_name, mode_label.as_deref(), scale)
+    };
+    match outcome {
+        Ok(report) => {
+            println!("{}", report.summary());
+            report_resources(verbosity, "conform", start);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn write_out(path: &str, contents: &str) -> ExitCode {
     match std::fs::write(path, contents) {
         Ok(()) => {
@@ -392,6 +477,9 @@ fn main() -> ExitCode {
     }
     if target == "fuzz" {
         return run_fuzz_cmd(&args[1..]);
+    }
+    if target == "conform" {
+        return run_conform_cmd(&args[1..], verbosity);
     }
     if target == "trace" {
         return run_trace_cmd(&args[1..], verbosity);

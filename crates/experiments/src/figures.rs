@@ -73,8 +73,63 @@ pub fn fig2(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
     bars_table(
         "Figure 2: region time, U (TLS baseline) vs O (perfect memory value prediction)",
         harnesses,
-        &[Mode::Unsync, Mode::OracleAll],
+        &FIG2_MODES,
     )
+}
+
+const FIG2_MODES: [Mode; 2] = [Mode::Unsync, Mode::OracleAll];
+const FIG6_MODES: [Mode; 5] = [
+    Mode::Unsync,
+    Mode::Threshold(25),
+    Mode::Threshold(15),
+    Mode::Threshold(5),
+    Mode::OracleAll,
+];
+const FIG8_MODES: [Mode; 3] = [Mode::Unsync, Mode::CompilerTrain, Mode::CompilerRef];
+const FIG9_MODES: [Mode; 3] = [Mode::CompilerRef, Mode::PerfectSync, Mode::LateSync];
+const FIG10_MODES: [Mode; 5] = [
+    Mode::Unsync,
+    Mode::HwPredict,
+    Mode::HwSync,
+    Mode::CompilerRef,
+    Mode::Hybrid,
+];
+const FIG11_MODES: [Mode; 4] = [
+    Mode::Marking {
+        stall_compiler: false,
+        stall_hardware: false,
+    },
+    Mode::Marking {
+        stall_compiler: true,
+        stall_hardware: false,
+    },
+    Mode::Marking {
+        stall_compiler: false,
+        stall_hardware: true,
+    },
+    Mode::Marking {
+        stall_compiler: true,
+        stall_hardware: true,
+    },
+];
+const FIG12_MODES: [Mode; 4] = [Mode::Unsync, Mode::CompilerRef, Mode::HwSync, Mode::Hybrid];
+const TABLE2_MODES: [Mode; 2] = [Mode::Hybrid, Mode::CompilerRef];
+const REPORT_MODES: [Mode; 1] = [Mode::CompilerRef];
+
+/// Every mode some figure or table runs, in target order (with repeats).
+/// The canonical-list agreement test checks each against [`crate::MODES`].
+pub fn modes_used() -> Vec<Mode> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&FIG2_MODES);
+    out.extend_from_slice(&FIG6_MODES);
+    out.extend_from_slice(&FIG8_MODES);
+    out.extend_from_slice(&FIG9_MODES);
+    out.extend_from_slice(&FIG10_MODES);
+    out.extend_from_slice(&FIG11_MODES);
+    out.extend_from_slice(&FIG12_MODES);
+    out.extend_from_slice(&TABLE2_MODES);
+    out.extend_from_slice(&REPORT_MODES);
+    out
 }
 
 /// Figure 6: perfect prediction restricted to loads whose dependence
@@ -84,13 +139,7 @@ pub fn fig6(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
     bars_table(
         "Figure 6: perfect prediction of loads above a dependence-frequency threshold",
         harnesses,
-        &[
-            Mode::Unsync,
-            Mode::Threshold(25),
-            Mode::Threshold(15),
-            Mode::Threshold(5),
-            Mode::OracleAll,
-        ],
+        &FIG6_MODES,
     )
 }
 
@@ -143,7 +192,7 @@ pub fn fig8(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
     bars_table(
         "Figure 8: compiler-inserted memory synchronization (U / T / C)",
         harnesses,
-        &[Mode::Unsync, Mode::CompilerTrain, Mode::CompilerRef],
+        &FIG8_MODES,
     )
 }
 
@@ -153,7 +202,7 @@ pub fn fig9(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
     bars_table(
         "Figure 9: synchronization cost (C / E perfect / L stall-till-complete)",
         harnesses,
-        &[Mode::CompilerRef, Mode::PerfectSync, Mode::LateSync],
+        &FIG9_MODES,
     )
 }
 
@@ -163,13 +212,7 @@ pub fn fig10(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
     bars_table(
         "Figure 10: hardware vs compiler synchronization (U / P / H / C / B)",
         harnesses,
-        &[
-            Mode::Unsync,
-            Mode::HwPredict,
-            Mode::HwSync,
-            Mode::CompilerRef,
-            Mode::Hybrid,
-        ],
+        &FIG10_MODES,
     )
 }
 
@@ -181,13 +224,7 @@ pub fn fig11(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
         "Figure 11: violating loads by would-be-synchronizing scheme",
         &["bench", "mode", "neither", "C-only", "H-only", "both", "total"],
     );
-    let modes: Vec<Mode> = [(false, false), (true, false), (false, true), (true, true)]
-        .into_iter()
-        .map(|(sc, sh)| Mode::Marking {
-            stall_compiler: sc,
-            stall_hardware: sh,
-        })
-        .collect();
+    let modes = FIG11_MODES;
     let rows = run_pairs(harnesses, &modes, |h, mode| {
         let r = h.run(mode)?;
         let cls = r.violation_class_totals();
@@ -223,7 +260,7 @@ pub fn fig12(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
         "Figure 12: program speedup over sequential (U / C / H / B)",
         &["bench", "coverage", "U", "C", "H", "B"],
     );
-    let modes = [Mode::Unsync, Mode::CompilerRef, Mode::HwSync, Mode::Hybrid];
+    let modes = FIG12_MODES;
     let stats = run_pairs(harnesses, &modes, |h, mode| {
         let r = h.run(mode)?;
         Ok(h.program_stats(mode, &r))
@@ -252,7 +289,7 @@ pub fn table2(harnesses: &[Harness]) -> Result<Table, ExperimentError> {
             "program C",
         ],
     );
-    let modes = [Mode::Hybrid, Mode::CompilerRef];
+    let modes = TABLE2_MODES;
     let stats = run_pairs(harnesses, &modes, |h, mode| {
         let r = h.run(mode)?;
         Ok(h.program_stats(mode, &r))
@@ -283,7 +320,7 @@ pub fn compiler_report(harnesses: &[Harness]) -> Result<Table, ExperimentError> 
             "clones", "growth", "sigbuf",
         ],
     );
-    let runs = run_pairs(harnesses, &[Mode::CompilerRef], |h, mode| h.run(mode))?;
+    let runs = run_pairs(harnesses, &REPORT_MODES, |h, mode| h.run(mode))?;
     for (h, r) in harnesses.iter().zip(&runs) {
         let rep = &h.set_c.report;
         let unrolls: Vec<String> = h.set_c.regions.iter().map(|r| r.unroll.to_string()).collect();
@@ -341,6 +378,16 @@ mod tests {
     fn quick(name: &str) -> Harness {
         let w = tls_workloads::by_name(name).expect("workload exists");
         Harness::new(w, Scale::Quick).expect("harness builds")
+    }
+
+    #[test]
+    fn every_figure_mode_is_in_the_canonical_list() {
+        for m in modes_used() {
+            assert!(
+                crate::MODES.contains(&m),
+                "figure mode {m:?} is missing from the canonical MODES list"
+            );
+        }
     }
 
     #[test]

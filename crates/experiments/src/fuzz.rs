@@ -33,40 +33,10 @@ use tls_profile::{ArchOutcome, InterpConfig};
 
 use crate::{par, ExperimentError, Harness, Mode};
 
-/// The full mode matrix exercised for every generated program: all bar
-/// letters of the evaluation plus the threshold and marking variants.
-pub const ALL_MODES: [Mode; 18] = [
-    Mode::Seq,
-    Mode::Unsync,
-    Mode::OracleAll,
-    Mode::Threshold(25),
-    Mode::Threshold(15),
-    Mode::Threshold(5),
-    Mode::CompilerTrain,
-    Mode::CompilerRef,
-    Mode::PerfectSync,
-    Mode::LateSync,
-    Mode::HwPredict,
-    Mode::HwSync,
-    Mode::Hybrid,
-    Mode::HybridFiltered,
-    Mode::Marking {
-        stall_compiler: false,
-        stall_hardware: false,
-    },
-    Mode::Marking {
-        stall_compiler: true,
-        stall_hardware: false,
-    },
-    Mode::Marking {
-        stall_compiler: false,
-        stall_hardware: true,
-    },
-    Mode::Marking {
-        stall_compiler: true,
-        stall_hardware: true,
-    },
-];
+/// The full mode matrix exercised for every generated program: the one
+/// canonical list in [`crate::MODES`], re-exported under the fuzzer's
+/// historical name.
+pub use crate::MODES as ALL_MODES;
 
 /// Everything one fuzzing campaign needs besides the seed range.
 #[derive(Clone, Debug)]

@@ -7,7 +7,8 @@ use std::fmt;
 use tls_core::{compile_all, loads_above_threshold, CompilationSet, CompileError, CompileOptions};
 use tls_profile::{record_oracle, ExecError, ValueOracle};
 use tls_sim::{
-    Machine, NullTracer, OracleSel, SimConfig, SimError, SimResult, SyncLoadPolicy, Tracer,
+    check_conformance, Machine, ModelConfig, NullTracer, OracleSel, RecordingTracer, SimConfig,
+    SimError, SimResult, SyncLoadPolicy, Tracer,
 };
 use tls_workloads::{InputSet, Workload};
 
@@ -60,6 +61,50 @@ pub enum Mode {
         /// Enable hardware synchronization stalls.
         stall_hardware: bool,
     },
+}
+
+/// The full evaluation matrix, sequential baseline first: every bar letter
+/// plus the threshold and marking variants. This is the **single canonical
+/// mode list** — the differential fuzzer exercises all of it, the
+/// trace-invariant and conformance suites take the speculative tail
+/// ([`spec_modes`]), and every mode a figure runs appears in it (see
+/// [`crate::figures::modes_used`] and the agreement test there).
+pub const MODES: [Mode; 18] = [
+    Mode::Seq,
+    Mode::Unsync,
+    Mode::OracleAll,
+    Mode::Threshold(25),
+    Mode::Threshold(15),
+    Mode::Threshold(5),
+    Mode::CompilerTrain,
+    Mode::CompilerRef,
+    Mode::PerfectSync,
+    Mode::LateSync,
+    Mode::HwPredict,
+    Mode::HwSync,
+    Mode::Hybrid,
+    Mode::HybridFiltered,
+    Mode::Marking {
+        stall_compiler: false,
+        stall_hardware: false,
+    },
+    Mode::Marking {
+        stall_compiler: true,
+        stall_hardware: false,
+    },
+    Mode::Marking {
+        stall_compiler: false,
+        stall_hardware: true,
+    },
+    Mode::Marking {
+        stall_compiler: true,
+        stall_hardware: true,
+    },
+];
+
+/// The speculative modes: [`MODES`] without the sequential baseline.
+pub fn spec_modes() -> &'static [Mode] {
+    &MODES[1..]
 }
 
 impl Mode {
@@ -152,6 +197,16 @@ pub enum ExperimentError {
         /// First divergence found.
         detail: String,
     },
+    /// A TLS run's event stream diverged from the reference protocol model
+    /// (see [`tls_sim::check_conformance`]).
+    Conformance {
+        /// Workload or program name.
+        workload: String,
+        /// Mode label.
+        mode: String,
+        /// First protocol divergence found.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -168,6 +223,16 @@ impl fmt::Display for ExperimentError {
                 write!(
                     f,
                     "{workload}/{mode}: TLS diverged from sequential: {detail}"
+                )
+            }
+            ExperimentError::Conformance {
+                workload,
+                mode,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "{workload}/{mode}: event stream diverged from the protocol model: {detail}"
                 )
             }
         }
@@ -307,11 +372,50 @@ impl Harness {
     /// Execute one mode and verify the architectural results (output
     /// stream, return value, final memory) against sequential execution.
     ///
+    /// In debug builds every speculative run is additionally recorded and
+    /// checked against the timing-free protocol model
+    /// ([`tls_sim::check_conformance`]), so the whole test suite exercises
+    /// conformance implicitly; release builds skip the recording.
+    ///
     /// # Errors
     /// Propagates simulation failures; returns
-    /// [`ExperimentError::WrongOutput`] if the TLS run diverges.
+    /// [`ExperimentError::WrongOutput`] if the TLS run diverges and
+    /// [`ExperimentError::Conformance`] (debug builds) if its event stream
+    /// does.
     pub fn run(&self, mode: Mode) -> Result<SimResult, ExperimentError> {
-        self.run_traced(mode, &mut NullTracer)
+        if cfg!(debug_assertions) && mode != Mode::Seq {
+            let mut rec = RecordingTracer::default();
+            let result = self.run_traced(mode, &mut rec)?;
+            self.check_conformance(mode, &rec.events)?;
+            Ok(result)
+        } else {
+            self.run_traced(mode, &mut NullTracer)
+        }
+    }
+
+    /// The protocol-relevant knobs the reference model needs for a mode
+    /// (granularity and relay forwarding, from the resolved configuration).
+    pub fn model_config(&self, mode: Mode) -> ModelConfig {
+        ModelConfig::from_sim(&self.resolve(mode).1)
+    }
+
+    /// Check a recorded event stream of a `mode` run against the reference
+    /// protocol model.
+    ///
+    /// # Errors
+    /// [`ExperimentError::Conformance`] describing the first divergence.
+    pub fn check_conformance(
+        &self,
+        mode: Mode,
+        events: &[tls_sim::TraceEvent],
+    ) -> Result<tls_sim::ConformanceStats, ExperimentError> {
+        check_conformance(events, &self.model_config(mode)).map_err(|detail| {
+            ExperimentError::Conformance {
+                workload: self.name.clone(),
+                mode: mode.label(),
+                detail,
+            }
+        })
     }
 
     /// Like [`Harness::run`], but streams the run's [`tls_sim::TraceEvent`]s
@@ -326,9 +430,27 @@ impl Harness {
         mode: Mode,
         tracer: &mut T,
     ) -> Result<SimResult, ExperimentError> {
+        let (module, cfg, oracle) = self.resolve(mode);
+        let machine = match oracle {
+            Some(o) => Machine::with_oracle(module, cfg, o),
+            None => Machine::new(module, cfg),
+        };
+        let result = machine.run_traced(tracer)?;
+        if let Some(detail) = self.check(&result) {
+            return Err(ExperimentError::WrongOutput {
+                workload: self.name.clone(),
+                mode: mode.label(),
+                detail,
+            });
+        }
+        Ok(result)
+    }
+
+    /// Resolve a mode to the module, full machine configuration and value
+    /// oracle its simulation uses.
+    fn resolve(&self, mode: Mode) -> (&tls_ir::Module, SimConfig, Option<&ValueOracle>) {
         let base = self.base.clone();
-        // Resolve the mode to (module, config, oracle) and simulate once.
-        let (module, cfg, oracle) = match mode {
+        match mode {
             Mode::Seq => (
                 &self.set_c.seq,
                 SimConfig {
@@ -428,20 +550,7 @@ impl Harness {
                     None,
                 )
             }
-        };
-        let machine = match oracle {
-            Some(o) => Machine::with_oracle(module, cfg, o),
-            None => Machine::new(module, cfg),
-        };
-        let result = machine.run_traced(tracer)?;
-        if let Some(detail) = self.check(&result) {
-            return Err(ExperimentError::WrongOutput {
-                workload: self.name.clone(),
-                mode: mode.label(),
-                detail,
-            });
         }
-        Ok(result)
     }
 
     /// Compare a run's architectural results against the sequential

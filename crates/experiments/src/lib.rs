@@ -30,11 +30,14 @@
 
 pub mod attrib;
 pub mod bench;
+pub mod conform;
 pub mod figures;
 pub mod fuzz;
 mod harness;
 pub mod par;
 mod report;
 
-pub use harness::{ExperimentError, Harness, Mode, ProgramStats, RegionBar, Scale};
+pub use harness::{
+    spec_modes, ExperimentError, Harness, Mode, ProgramStats, RegionBar, Scale, MODES,
+};
 pub use report::Table;

@@ -203,4 +203,68 @@ mod tests {
     fn bad_geometry_panics() {
         let _ = SetAssocCache::new(5, 2);
     }
+
+    #[test]
+    fn eviction_of_a_resident_line_is_observable() {
+        // 4 lines, 2 ways → set 0 holds lines {0, 2, 4, …}. The machine
+        // relies on the evicted tag to emit `LineEvict` for lines an epoch
+        // has speculatively read, so the victim must be reported exactly.
+        let mut c = SetAssocCache::new(4, 2);
+        assert_eq!(c.access_evict(0), (false, None)); // cold fill, no victim
+        assert_eq!(c.access_evict(2), (false, None)); // second way, no victim
+        assert_eq!(c.access_evict(4), (false, Some(0))); // LRU line 0 evicted
+        assert_eq!(c.access_evict(4), (true, None)); // hits never evict
+        assert_eq!(c.access_evict(0), (false, Some(2))); // now 2 is LRU
+        // Invalidated ways are reused without reporting a victim.
+        c.invalidate(4);
+        assert_eq!(c.access_evict(6), (false, None));
+    }
+
+    #[test]
+    fn hierarchy_reports_l1_victim_only_on_miss() {
+        // One-line L1 per core: every miss to a new line evicts the old
+        // one; the L2 fill path must still surface the L1 victim.
+        let mut cfg = SimConfig::cgo2004();
+        cfg.l1_lines = 1;
+        cfg.l1_ways = 1;
+        let mut m = MemSystem::new(&cfg);
+        assert_eq!(m.access_evict(0, 0), (cfg.mem_lat, None));
+        // New line from memory, displacing line 0.
+        assert_eq!(m.access_evict(0, 100), (cfg.mem_lat, Some(line_of(0))));
+        // Warm L2 (same word reloaded on another round trip): the victim
+        // is reported with the L2 latency too.
+        assert_eq!(m.access_evict(0, 0), (cfg.l2_lat, Some(line_of(100))));
+        // An L1 hit never reports a victim.
+        assert_eq!(m.access_evict(0, 1), (cfg.l1_lat, None));
+    }
+
+    #[test]
+    fn line_masking_edge_cases() {
+        // Words 0..LINE_WORDS share line 0; the next word starts line 1;
+        // negative addresses floor toward -∞ rather than truncating to 0,
+        // so -1 must NOT land in line 0 (that would alias the first line
+        // of the heap with addresses below it).
+        let lw = tls_ir::LINE_WORDS;
+        assert_eq!(line_of(0), line_of(lw - 1));
+        assert_ne!(line_of(lw - 1), line_of(lw));
+        assert_eq!(line_of(-1), -1);
+        assert_eq!(line_of(-lw), -1);
+        assert_eq!(line_of(-lw - 1), -2);
+        // The cache maps negative lines to valid sets (rem_euclid), so
+        // accesses below address zero are cacheable, distinct from their
+        // positive aliases, and hit on re-access.
+        let mut c = SetAssocCache::new(4, 2);
+        assert!(!c.access(line_of(-1)));
+        assert!(c.access(line_of(-1)));
+        assert!(c.probe(line_of(-1)));
+        assert!(!c.probe(line_of(lw - 1).wrapping_neg() - 42));
+        // Distinct words of one line are one cache line end to end.
+        let mut m = MemSystem::new(&SimConfig::cgo2004());
+        let first = m.access(0, lw * 10);
+        assert_eq!(first, SimConfig::cgo2004().mem_lat);
+        for w in 1..lw {
+            assert_eq!(m.access(0, lw * 10 + w), SimConfig::cgo2004().l1_lat);
+        }
+        assert_eq!(m.access(0, lw * 11), SimConfig::cgo2004().mem_lat);
+    }
 }

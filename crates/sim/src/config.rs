@@ -134,6 +134,14 @@ pub struct SimConfig {
     /// this to prove that an injected correctness bug is caught and
     /// minimized. Never set outside tests.
     pub break_forwarded_recovery: bool,
+    /// **Fault injection, test-only.** Skips the exposed-read-set insertion
+    /// for loads issued by `SyncLoad` fallback paths: the load still reads
+    /// committed memory, but the line never joins the epoch's read set, so
+    /// a later conflicting store cannot squash it — deliberately wrong. The
+    /// conformance checker's self-test flips this to prove that a protocol
+    /// bug invisible to final-state differencing is still rejected. Never
+    /// set outside tests.
+    pub break_exposed_read_marking: bool,
 }
 
 impl SimConfig {
@@ -179,6 +187,7 @@ impl SimConfig {
             trace_interval: 0,
             max_steps: 4_000_000_000,
             break_forwarded_recovery: false,
+            break_exposed_read_marking: false,
         }
     }
 

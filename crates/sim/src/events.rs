@@ -294,6 +294,86 @@ pub enum TraceEvent {
         /// Cumulative slots attributed so far in this instance.
         slots: SlotBreakdown,
     },
+    /// A speculative store entered an epoch's write buffer (stays private
+    /// until commit).
+    SpecStore {
+        /// Static region.
+        rid: RegionId,
+        /// Dynamic instance ordinal.
+        ord: u64,
+        /// Storing epoch index.
+        epoch: u64,
+        /// Core.
+        core: usize,
+        /// Static id of the store.
+        sid: Sid,
+        /// Word address written.
+        addr: i64,
+        /// Value buffered.
+        value: i64,
+        /// Execution cycle.
+        time: u64,
+    },
+    /// A speculative load executed. `exposed` is true when the value came
+    /// from committed memory (and the line joins the epoch's read set —
+    /// squashable), false when it was satisfied from the epoch's own write
+    /// buffer (invisible to the violation rule).
+    SpecLoad {
+        /// Static region.
+        rid: RegionId,
+        /// Dynamic instance ordinal.
+        ord: u64,
+        /// Loading epoch index.
+        epoch: u64,
+        /// Core.
+        core: usize,
+        /// Static id of the load.
+        sid: Sid,
+        /// Word address read.
+        addr: i64,
+        /// Value observed.
+        value: i64,
+        /// Whether the load read committed state (exposed read).
+        exposed: bool,
+        /// Execution cycle.
+        time: u64,
+    },
+    /// A hardware value prediction was used for a load; verified against
+    /// committed memory when the epoch commits.
+    PredictedLoad {
+        /// Static region.
+        rid: RegionId,
+        /// Dynamic instance ordinal.
+        ord: u64,
+        /// Loading epoch index.
+        epoch: u64,
+        /// Core.
+        core: usize,
+        /// Static id of the load.
+        sid: Sid,
+        /// Word address read.
+        addr: i64,
+        /// Predicted value.
+        value: i64,
+        /// Execution cycle.
+        time: u64,
+    },
+    /// One word of a committing epoch's write buffer drained to memory.
+    /// Emitted before the attempt's [`TraceEvent::EpochCommit`].
+    CommitWrite {
+        /// Static region.
+        rid: RegionId,
+        /// Dynamic instance ordinal.
+        ord: u64,
+        /// Committing epoch index.
+        epoch: u64,
+        /// Word address written back.
+        addr: i64,
+        /// Value made architectural.
+        value: i64,
+        /// Commit cycle.
+        time: u64,
+    },
 }
 
 impl TraceEvent {
@@ -309,7 +389,11 @@ impl TraceEvent {
             | TraceEvent::SignalSend { time, .. }
             | TraceEvent::SignalRecv { time, .. }
             | TraceEvent::LineEvict { time, .. }
-            | TraceEvent::SlotSample { time, .. } => time,
+            | TraceEvent::SlotSample { time, .. }
+            | TraceEvent::SpecStore { time, .. }
+            | TraceEvent::SpecLoad { time, .. }
+            | TraceEvent::PredictedLoad { time, .. }
+            | TraceEvent::CommitWrite { time, .. } => time,
             TraceEvent::EpochCommit { end, .. }
             | TraceEvent::EpochSquash { end, .. }
             | TraceEvent::EpochCancel { end, .. } => end,

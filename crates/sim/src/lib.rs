@@ -33,6 +33,7 @@ mod config;
 mod events;
 mod hwsync;
 mod machine;
+mod model;
 mod spec;
 mod stats;
 mod timing;
@@ -43,12 +44,14 @@ pub use config::{OracleSel, SimConfig, SyncLoadPolicy};
 pub use events::{NullTracer, SignalKind, TraceEvent, Tracer, ViolationKind, WaitKind};
 pub use hwsync::{ValuePredictor, ViolationTable};
 pub use machine::{Machine, SimError};
+pub use model::{check_conformance, ConformanceStats, ModelConfig};
 pub use spec::{MemSignal, ReadSet, SyncState, WriteBuffer};
 pub use stats::{RegionStats, SimResult, SlotBreakdown, ViolationClass};
 pub use timing::{BranchPredictor, CoreTimer};
 pub use trace::{
-    ascii_timeline, check_event_stream, parse_json, perfetto_json, replay_slots,
-    validate_perfetto, CountingTracer, EventStreamStats, Json, RecordingTracer, ReplayedRegion,
+    ascii_timeline, check_event_stream, events_from_json, events_to_json, parse_json,
+    perfetto_json, replay_slots, validate_perfetto, CountingTracer, EventStreamStats, Json,
+    RecordingTracer, ReplayedRegion,
 };
 
 /// Simulate `module` under `config` (no oracle).

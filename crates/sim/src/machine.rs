@@ -730,6 +730,16 @@ impl<'m> Machine<'m> {
                     + self.config.commit_per_line * epochs[0].wb.dirty_lines() as u64;
                 let e = epochs.remove(0);
                 for (a, v) in e.wb.iter() {
+                    if T::ENABLED {
+                        tracer.event(TraceEvent::CommitWrite {
+                            rid,
+                            ord,
+                            epoch: e.index,
+                            addr: a,
+                            value: v,
+                            time: commit_done,
+                        });
+                    }
                     self.mem.write(a, v);
                     self.caches.install(e.core, a);
                     self.caches.invalidate_others(e.core, a);
@@ -1371,6 +1381,18 @@ impl<'m> Machine<'m> {
                 let (issue, _) = e.timer.issue(ra.max(rv), self.config.lat_alu);
                 e.clock = issue;
                 e.wb.store(a, v, *sid);
+                if T::ENABLED {
+                    tracer.event(TraceEvent::SpecStore {
+                        rid,
+                        ord,
+                        epoch: e.index,
+                        core: e.core,
+                        sid: *sid,
+                        addr: a,
+                        value: v,
+                        time: issue,
+                    });
+                }
                 frame.idx += 1;
                 // Signal-address-buffer check: re-signal and violate the
                 // consumer (§2.2 "p, q and y all point to the same
@@ -1501,13 +1523,25 @@ impl<'m> Machine<'m> {
                         frame.regs[dst.index()] = pred;
                         frame.ready[dst.index()] = complete;
                         e.predicted.push((*sid, a, pred));
+                        if T::ENABLED {
+                            tracer.event(TraceEvent::PredictedLoad {
+                                rid,
+                                ord,
+                                epoch: e.index,
+                                core: e.core,
+                                sid: *sid,
+                                addr: a,
+                                value: pred,
+                                time: issue,
+                            });
+                        }
                         frame.idx += 1;
                         return Ok(None);
                     }
                 }
                 let dst = *dst;
                 let sid = *sid;
-                self.epoch_plain_load(e, older, a, sid, pendings, r, dst, rid, ord, tracer);
+                self.epoch_plain_load(e, older, a, sid, pendings, r, dst, false, rid, ord, tracer);
                 e.frames.last_mut().expect("nonempty").idx += 1;
             }
             Instr::SyncLoad { dst, addr, off, group, sid } => {
@@ -1532,7 +1566,7 @@ impl<'m> Machine<'m> {
                             frame.ready[dst.index()] = complete;
                         } else {
                             e.occ[sid.index()] -= 1;
-                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, rid, ord, tracer);
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer);
                         }
                         e.frames.last_mut().expect("nonempty").idx += 1;
                     }
@@ -1550,7 +1584,7 @@ impl<'m> Machine<'m> {
                                 });
                             }
                         } else {
-                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, rid, ord, tracer);
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer);
                             e.frames.last_mut().expect("nonempty").idx += 1;
                         }
                     }
@@ -1589,7 +1623,7 @@ impl<'m> Machine<'m> {
                             return Ok(None);
                         }
                         if filtered_out {
-                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, rid, ord, tracer);
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer);
                             e.frames.last_mut().expect("nonempty").idx += 1;
                             return Ok(None);
                         }
@@ -1622,6 +1656,19 @@ impl<'m> Machine<'m> {
                                     let frame = e.frames.last_mut().expect("nonempty");
                                     frame.regs[dst.index()] = v;
                                     frame.ready[dst.index()] = complete;
+                                    if T::ENABLED {
+                                        tracer.event(TraceEvent::SpecLoad {
+                                            rid,
+                                            ord,
+                                            epoch: e.index,
+                                            core: e.core,
+                                            sid,
+                                            addr: a,
+                                            value: v,
+                                            exposed: false,
+                                            time: issue,
+                                        });
+                                    }
                                 } else if sig.addr == Some(a)
                                     || (self.config.break_forwarded_recovery
                                         && sig.addr.is_some())
@@ -1660,6 +1707,7 @@ impl<'m> Machine<'m> {
                                         pendings,
                                         r.max(sig.ready_at),
                                         dst,
+                                        true,
                                         rid,
                                         ord,
                                         tracer,
@@ -1688,8 +1736,9 @@ impl<'m> Machine<'m> {
         pendings: &mut Vec<Pending>,
         ready: u64,
         dst: Var,
-        _rid: RegionId,
-        _ord: u64,
+        from_sync: bool,
+        rid: RegionId,
+        ord: u64,
         tracer: &mut T,
     ) -> i64 {
         let frame = e.frames.last_mut().expect("nonempty");
@@ -1698,6 +1747,19 @@ impl<'m> Machine<'m> {
             e.clock = issue;
             frame.regs[dst.index()] = v;
             frame.ready[dst.index()] = complete;
+            if T::ENABLED {
+                tracer.event(TraceEvent::SpecLoad {
+                    rid,
+                    ord,
+                    epoch: e.index,
+                    core: e.core,
+                    sid,
+                    addr: a,
+                    value: v,
+                    exposed: false,
+                    time: issue,
+                });
+            }
             return v;
         }
         let v = self.mem.read(a);
@@ -1723,7 +1785,24 @@ impl<'m> Machine<'m> {
         e.clock = issue;
         frame.regs[dst.index()] = v;
         frame.ready[dst.index()] = complete;
-        e.reads.insert(a, sid);
+        if T::ENABLED {
+            // Emitted even under the fault injection below: the model sees
+            // the exposed read the simulator then fails to track.
+            tracer.event(TraceEvent::SpecLoad {
+                rid,
+                ord,
+                epoch: e.index,
+                core: e.core,
+                sid,
+                addr: a,
+                value: v,
+                exposed: true,
+                time: issue,
+            });
+        }
+        if !(self.config.break_exposed_read_marking && from_sync) {
+            e.reads.insert(a, sid);
+        }
         // Commit-time dependence: an older epoch holds an uncommitted store
         // to this line.
         let line = line_of(a);

@@ -378,6 +378,24 @@ pub fn check_event_stream(events: &[TraceEvent]) -> Result<EventStreamStats, Str
                         }
                     }
                 }
+                TraceEvent::SpecStore { rid, ord, epoch, .. } => {
+                    let inst = get(&mut open, rid, ord, "spec-store")?;
+                    live(inst, epoch, "spec-store")?;
+                }
+                TraceEvent::SpecLoad { rid, ord, epoch, .. } => {
+                    let inst = get(&mut open, rid, ord, "spec-load")?;
+                    live(inst, epoch, "spec-load")?;
+                }
+                TraceEvent::PredictedLoad { rid, ord, epoch, .. } => {
+                    let inst = get(&mut open, rid, ord, "predicted-load")?;
+                    live(inst, epoch, "predicted-load")?;
+                }
+                TraceEvent::CommitWrite { rid, ord, epoch, .. } => {
+                    // Emitted while the committing attempt is still open
+                    // (just before its EpochCommit).
+                    let inst = get(&mut open, rid, ord, "commit-write")?;
+                    live(inst, epoch, "commit-write")?;
+                }
                 TraceEvent::LineEvict { .. } | TraceEvent::SlotSample { .. } => {}
             }
             Ok(())
@@ -864,6 +882,498 @@ pub fn validate_perfetto(json: &str) -> Result<usize, String> {
         last_ts = ts;
     }
     Ok(events.len())
+}
+
+// ---------------------------------------------------------------------
+// Lossless event-stream JSON (round-trippable, unlike the Perfetto export)
+// ---------------------------------------------------------------------
+
+fn wait_kind_str(k: WaitKind) -> String {
+    match k {
+        WaitKind::Scalar(c) => format!("scalar:{}", c.0),
+        WaitKind::Mem(g) => format!("mem:{}", g.0),
+        WaitKind::Oldest => "oldest".into(),
+    }
+}
+
+fn parse_wait_kind(s: &str) -> Result<WaitKind, String> {
+    if s == "oldest" {
+        return Ok(WaitKind::Oldest);
+    }
+    let (tag, id) = s.split_once(':').ok_or_else(|| format!("bad wait kind `{s}`"))?;
+    let id: u32 = id.parse().map_err(|_| format!("bad wait kind id `{s}`"))?;
+    match tag {
+        "scalar" => Ok(WaitKind::Scalar(tls_ir::ChanId(id))),
+        "mem" => Ok(WaitKind::Mem(tls_ir::GroupId(id))),
+        _ => Err(format!("bad wait kind `{s}`")),
+    }
+}
+
+fn signal_kind_str(k: SignalKind) -> String {
+    match k {
+        SignalKind::Scalar(c) => format!("scalar:{}", c.0),
+        SignalKind::Mem(g) => format!("mem:{}", g.0),
+        SignalKind::MemNull(g) => format!("memnull:{}", g.0),
+    }
+}
+
+fn parse_signal_kind(s: &str) -> Result<SignalKind, String> {
+    let (tag, id) = s.split_once(':').ok_or_else(|| format!("bad signal kind `{s}`"))?;
+    let id: u32 = id.parse().map_err(|_| format!("bad signal kind id `{s}`"))?;
+    match tag {
+        "scalar" => Ok(SignalKind::Scalar(tls_ir::ChanId(id))),
+        "mem" => Ok(SignalKind::Mem(tls_ir::GroupId(id))),
+        "memnull" => Ok(SignalKind::MemNull(tls_ir::GroupId(id))),
+        _ => Err(format!("bad signal kind `{s}`")),
+    }
+}
+
+fn parse_violation_kind(s: &str) -> Result<crate::events::ViolationKind, String> {
+    use crate::events::ViolationKind as V;
+    match s {
+        "eager" => Ok(V::Eager),
+        "commit_time" => Ok(V::CommitTime),
+        "resignal" => Ok(V::Resignal),
+        "mispredict" => Ok(V::Mispredict),
+        _ => Err(format!("bad violation kind `{s}`")),
+    }
+}
+
+/// `i64` fields are written as JSON *strings*: fuzz-generated programs use
+/// wrapping arithmetic, so addresses and values routinely exceed the 2^53
+/// range [`parse_json`]'s `f64` numbers represent exactly.
+fn i64_field(out: &mut String, key: &str, v: i64) {
+    let _ = write!(out, ",\"{key}\":\"{v}\"");
+}
+
+fn opt_i64_field(out: &mut String, key: &str, v: Option<i64>) {
+    match v {
+        Some(v) => i64_field(out, key, v),
+        None => {
+            let _ = write!(out, ",\"{key}\":null");
+        }
+    }
+}
+
+fn opt_u64_field(out: &mut String, key: &str, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, ",\"{key}\":{v}");
+        }
+        None => {
+            let _ = write!(out, ",\"{key}\":null");
+        }
+    }
+}
+
+fn opt_sid_field(out: &mut String, key: &str, v: Option<tls_ir::Sid>) {
+    opt_u64_field(out, key, v.map(|s| u64::from(s.0)));
+}
+
+/// Serialize the typed event stream to JSON, one object per event, with
+/// every field preserved exactly. The inverse of [`events_from_json`]:
+/// `events_from_json(&events_to_json(evs)) == Ok(evs)` for every stream
+/// the simulator can emit (the round-trip test in `tests/` enforces this
+/// over a fuzz corpus).
+pub fn events_to_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEventsV1\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut b = String::new();
+        match *ev {
+            TraceEvent::RegionEnter { rid, ord, time } => {
+                let _ = write!(b, "{{\"ev\":\"region_enter\",\"rid\":{},\"ord\":{ord},\"time\":{time}", rid.0);
+            }
+            TraceEvent::RegionExit { rid, ord, time } => {
+                let _ = write!(b, "{{\"ev\":\"region_exit\",\"rid\":{},\"ord\":{ord},\"time\":{time}", rid.0);
+            }
+            TraceEvent::EpochSpawn { rid, ord, epoch, core, time } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"spawn\",\"rid\":{},\"ord\":{ord},\"epoch\":{epoch},\"core\":{core},\"time\":{time}",
+                    rid.0
+                );
+            }
+            TraceEvent::EpochCommit { rid, ord, epoch, core, start, end, graduated, sync_cycles } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"commit\",\"rid\":{},\"ord\":{ord},\"epoch\":{epoch},\"core\":{core},\
+                     \"start\":{start},\"end\":{end},\"graduated\":{graduated},\"sync_cycles\":{sync_cycles}",
+                    rid.0
+                );
+            }
+            TraceEvent::EpochSquash { rid, ord, epoch, core, start, end, restart, load_sid, store_sid } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"squash\",\"rid\":{},\"ord\":{ord},\"epoch\":{epoch},\"core\":{core},\
+                     \"start\":{start},\"end\":{end},\"restart\":{restart}",
+                    rid.0
+                );
+                opt_sid_field(&mut b, "load_sid", load_sid);
+                opt_sid_field(&mut b, "store_sid", store_sid);
+            }
+            TraceEvent::EpochCancel { rid, ord, epoch, core, start, end } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"cancel\",\"rid\":{},\"ord\":{ord},\"epoch\":{epoch},\"core\":{core},\
+                     \"start\":{start},\"end\":{end}",
+                    rid.0
+                );
+            }
+            TraceEvent::Violation { rid, ord, kind, load_sid, store_sid, addr, producer, consumer, core, time } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"violation\",\"rid\":{},\"ord\":{ord},\"kind\":\"{}\",\
+                     \"consumer\":{consumer},\"core\":{core},\"time\":{time}",
+                    rid.0,
+                    kind.name()
+                );
+                opt_sid_field(&mut b, "load_sid", load_sid);
+                opt_sid_field(&mut b, "store_sid", store_sid);
+                opt_i64_field(&mut b, "addr", addr);
+                opt_u64_field(&mut b, "producer", producer);
+            }
+            TraceEvent::WaitBegin { rid, ord, epoch, core, kind, time } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"wait_begin\",\"rid\":{},\"ord\":{ord},\"epoch\":{epoch},\"core\":{core},\
+                     \"kind\":\"{}\",\"time\":{time}",
+                    rid.0,
+                    wait_kind_str(kind)
+                );
+            }
+            TraceEvent::WaitEnd { rid, ord, epoch, core, kind, since, time } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"wait_end\",\"rid\":{},\"ord\":{ord},\"epoch\":{epoch},\"core\":{core},\
+                     \"kind\":\"{}\",\"since\":{since},\"time\":{time}",
+                    rid.0,
+                    wait_kind_str(kind)
+                );
+            }
+            TraceEvent::SignalSend { rid, ord, epoch, core, kind, addr, value, time }
+            | TraceEvent::SignalRecv { rid, ord, epoch, core, kind, addr, value, time } => {
+                let name = if matches!(ev, TraceEvent::SignalSend { .. }) {
+                    "signal_send"
+                } else {
+                    "signal_recv"
+                };
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"{name}\",\"rid\":{},\"ord\":{ord},\"epoch\":{epoch},\"core\":{core},\
+                     \"kind\":\"{}\",\"time\":{time}",
+                    rid.0,
+                    signal_kind_str(kind)
+                );
+                opt_i64_field(&mut b, "addr", addr);
+                i64_field(&mut b, "value", value);
+            }
+            TraceEvent::LineEvict { core, line, speculative, time } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"line_evict\",\"core\":{core},\"speculative\":{speculative},\"time\":{time}"
+                );
+                i64_field(&mut b, "line", line);
+            }
+            TraceEvent::SlotSample { rid, ord, time, slots } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"slot_sample\",\"rid\":{},\"ord\":{ord},\"time\":{time},\
+                     \"busy\":{},\"fail\":{},\"sync\":{},\"other\":{}",
+                    rid.0, slots.busy, slots.fail, slots.sync, slots.other
+                );
+            }
+            TraceEvent::SpecStore { rid, ord, epoch, core, sid, addr, value, time } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"spec_store\",\"rid\":{},\"ord\":{ord},\"epoch\":{epoch},\"core\":{core},\
+                     \"sid\":{},\"time\":{time}",
+                    rid.0, sid.0
+                );
+                i64_field(&mut b, "addr", addr);
+                i64_field(&mut b, "value", value);
+            }
+            TraceEvent::SpecLoad { rid, ord, epoch, core, sid, addr, value, exposed, time } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"spec_load\",\"rid\":{},\"ord\":{ord},\"epoch\":{epoch},\"core\":{core},\
+                     \"sid\":{},\"exposed\":{exposed},\"time\":{time}",
+                    rid.0, sid.0
+                );
+                i64_field(&mut b, "addr", addr);
+                i64_field(&mut b, "value", value);
+            }
+            TraceEvent::PredictedLoad { rid, ord, epoch, core, sid, addr, value, time } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"predicted_load\",\"rid\":{},\"ord\":{ord},\"epoch\":{epoch},\"core\":{core},\
+                     \"sid\":{},\"time\":{time}",
+                    rid.0, sid.0
+                );
+                i64_field(&mut b, "addr", addr);
+                i64_field(&mut b, "value", value);
+            }
+            TraceEvent::CommitWrite { rid, ord, epoch, addr, value, time } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"commit_write\",\"rid\":{},\"ord\":{ord},\"epoch\":{epoch},\"time\":{time}",
+                    rid.0
+                );
+                i64_field(&mut b, "addr", addr);
+                i64_field(&mut b, "value", value);
+            }
+        }
+        b.push('}');
+        out.push_str(&b);
+    }
+    out.push_str("]}");
+    out
+}
+
+struct EvObj<'a>(&'a Json);
+
+impl EvObj<'_> {
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        let n = self
+            .0
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric `{key}`"))?;
+        if n < 0.0 || n.fract() != 0.0 || n > 9_007_199_254_740_992.0 {
+            return Err(format!("`{key}` is not an exact unsigned integer: {n}"));
+        }
+        Ok(n as u64)
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, String> {
+        Ok(self.u64(key)? as usize)
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, String> {
+        u32::try_from(self.u64(key)?).map_err(|_| format!("`{key}` out of u32 range"))
+    }
+
+    fn i64(&self, key: &str) -> Result<i64, String> {
+        self.0
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing string-encoded `{key}`"))?
+            .parse()
+            .map_err(|_| format!("`{key}` is not an i64"))
+    }
+
+    fn opt_i64(&self, key: &str) -> Result<Option<i64>, String> {
+        match self.0.get(key) {
+            Some(Json::Null) => Ok(None),
+            _ => Ok(Some(self.i64(key)?)),
+        }
+    }
+
+    fn opt_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.0.get(key) {
+            Some(Json::Null) => Ok(None),
+            _ => Ok(Some(self.u64(key)?)),
+        }
+    }
+
+    fn opt_sid(&self, key: &str) -> Result<Option<tls_ir::Sid>, String> {
+        Ok(self
+            .opt_u64(key)?
+            .map(|v| tls_ir::Sid(v as u32)))
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        self.0
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing string `{key}`"))
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.0.get(key) {
+            Some(Json::Bool(b)) => Ok(*b),
+            _ => Err(format!("missing bool `{key}`")),
+        }
+    }
+
+    fn rid(&self) -> Result<RegionId, String> {
+        Ok(RegionId(self.u32("rid")?))
+    }
+
+    fn sid(&self) -> Result<tls_ir::Sid, String> {
+        Ok(tls_ir::Sid(self.u32("sid")?))
+    }
+}
+
+/// Parse a document produced by [`events_to_json`] back into the exact
+/// typed event stream.
+///
+/// # Errors
+/// A description of the first syntax or schema error.
+pub fn events_from_json(s: &str) -> Result<Vec<TraceEvent>, String> {
+    let doc = parse_json(s)?;
+    let events = doc
+        .get("traceEventsV1")
+        .ok_or("missing `traceEventsV1`")?;
+    let Json::Arr(events) = events else {
+        return Err("`traceEventsV1` is not an array".into());
+    };
+    let mut out = Vec::with_capacity(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        let o = EvObj(ev);
+        let parsed = (|| -> Result<TraceEvent, String> {
+            Ok(match o.str("ev")? {
+                "region_enter" => TraceEvent::RegionEnter {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    time: o.u64("time")?,
+                },
+                "region_exit" => TraceEvent::RegionExit {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    time: o.u64("time")?,
+                },
+                "spawn" => TraceEvent::EpochSpawn {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    epoch: o.u64("epoch")?,
+                    core: o.usize("core")?,
+                    time: o.u64("time")?,
+                },
+                "commit" => TraceEvent::EpochCommit {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    epoch: o.u64("epoch")?,
+                    core: o.usize("core")?,
+                    start: o.u64("start")?,
+                    end: o.u64("end")?,
+                    graduated: o.u64("graduated")?,
+                    sync_cycles: o.u64("sync_cycles")?,
+                },
+                "squash" => TraceEvent::EpochSquash {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    epoch: o.u64("epoch")?,
+                    core: o.usize("core")?,
+                    start: o.u64("start")?,
+                    end: o.u64("end")?,
+                    restart: o.u64("restart")?,
+                    load_sid: o.opt_sid("load_sid")?,
+                    store_sid: o.opt_sid("store_sid")?,
+                },
+                "cancel" => TraceEvent::EpochCancel {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    epoch: o.u64("epoch")?,
+                    core: o.usize("core")?,
+                    start: o.u64("start")?,
+                    end: o.u64("end")?,
+                },
+                "violation" => TraceEvent::Violation {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    kind: parse_violation_kind(o.str("kind")?)?,
+                    load_sid: o.opt_sid("load_sid")?,
+                    store_sid: o.opt_sid("store_sid")?,
+                    addr: o.opt_i64("addr")?,
+                    producer: o.opt_u64("producer")?,
+                    consumer: o.u64("consumer")?,
+                    core: o.usize("core")?,
+                    time: o.u64("time")?,
+                },
+                "wait_begin" => TraceEvent::WaitBegin {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    epoch: o.u64("epoch")?,
+                    core: o.usize("core")?,
+                    kind: parse_wait_kind(o.str("kind")?)?,
+                    time: o.u64("time")?,
+                },
+                "wait_end" => TraceEvent::WaitEnd {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    epoch: o.u64("epoch")?,
+                    core: o.usize("core")?,
+                    kind: parse_wait_kind(o.str("kind")?)?,
+                    since: o.u64("since")?,
+                    time: o.u64("time")?,
+                },
+                name @ ("signal_send" | "signal_recv") => {
+                    let (rid, ord, epoch, core) =
+                        (o.rid()?, o.u64("ord")?, o.u64("epoch")?, o.usize("core")?);
+                    let kind = parse_signal_kind(o.str("kind")?)?;
+                    let (addr, value, time) =
+                        (o.opt_i64("addr")?, o.i64("value")?, o.u64("time")?);
+                    if name == "signal_send" {
+                        TraceEvent::SignalSend { rid, ord, epoch, core, kind, addr, value, time }
+                    } else {
+                        TraceEvent::SignalRecv { rid, ord, epoch, core, kind, addr, value, time }
+                    }
+                }
+                "line_evict" => TraceEvent::LineEvict {
+                    core: o.usize("core")?,
+                    line: o.i64("line")?,
+                    speculative: o.bool("speculative")?,
+                    time: o.u64("time")?,
+                },
+                "slot_sample" => TraceEvent::SlotSample {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    time: o.u64("time")?,
+                    slots: SlotBreakdown {
+                        busy: o.u64("busy")?,
+                        fail: o.u64("fail")?,
+                        sync: o.u64("sync")?,
+                        other: o.u64("other")?,
+                    },
+                },
+                "spec_store" => TraceEvent::SpecStore {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    epoch: o.u64("epoch")?,
+                    core: o.usize("core")?,
+                    sid: o.sid()?,
+                    addr: o.i64("addr")?,
+                    value: o.i64("value")?,
+                    time: o.u64("time")?,
+                },
+                "spec_load" => TraceEvent::SpecLoad {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    epoch: o.u64("epoch")?,
+                    core: o.usize("core")?,
+                    sid: o.sid()?,
+                    addr: o.i64("addr")?,
+                    value: o.i64("value")?,
+                    exposed: o.bool("exposed")?,
+                    time: o.u64("time")?,
+                },
+                "predicted_load" => TraceEvent::PredictedLoad {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    epoch: o.u64("epoch")?,
+                    core: o.usize("core")?,
+                    sid: o.sid()?,
+                    addr: o.i64("addr")?,
+                    value: o.i64("value")?,
+                    time: o.u64("time")?,
+                },
+                "commit_write" => TraceEvent::CommitWrite {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    epoch: o.u64("epoch")?,
+                    addr: o.i64("addr")?,
+                    value: o.i64("value")?,
+                    time: o.u64("time")?,
+                },
+                other => return Err(format!("unknown event kind `{other}`")),
+            })
+        })();
+        out.push(parsed.map_err(|e| format!("event {i}: {e}"))?);
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------

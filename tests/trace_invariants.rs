@@ -9,8 +9,8 @@
 //! just well-formed; and (c) counts one squash event per reported
 //! violation, the invariant the attribution reports rely on.
 
-use tls_repro::experiments::fuzz::{FuzzConfig, ALL_MODES};
-use tls_repro::experiments::Harness;
+use tls_repro::experiments::fuzz::FuzzConfig;
+use tls_repro::experiments::{spec_modes, Harness};
 use tls_repro::ir::generate;
 use tls_repro::sim::{check_event_stream, replay_slots, RecordingTracer, TraceEvent};
 
@@ -39,12 +39,9 @@ fn fuzz_corpus_event_streams_are_consistent() {
         let mut saw_violation = false;
         let mut saw_recv = false;
         let mut saw_sample = false;
-        for mode in ALL_MODES {
-            // Sequential execution has no epochs and traces no region
-            // events; the replay invariant is about speculative runs.
-            if mode.label() == "SEQ" {
-                continue;
-            }
+        // Sequential execution has no epochs and traces no region events;
+        // the replay invariant is about speculative runs.
+        for &mode in spec_modes() {
             let mut rec = RecordingTracer::default();
             let result = h
                 .run_traced(mode, &mut rec)
