@@ -239,6 +239,13 @@ mod tests {
         let w = tls_workloads::by_name("ijpeg").expect("workload exists");
         let h = Harness::new(w, Scale::Quick).expect("harness builds");
         let (null_ips, counting_ips) = tracing_overhead(&h).expect("overhead measured");
+        assert!(null_ips > 0.0 && counting_ips > 0.0);
+        // The throughput claim is only meaningful with optimizations on:
+        // debug builds inline nothing, so the relative cost of the two
+        // monomorphizations is noise and the comparison flakes.
+        if cfg!(debug_assertions) {
+            return;
+        }
         assert!(
             null_ips >= counting_ips * 0.98,
             "tracing-disabled throughput regressed: null {null_ips:.0} instr/s vs \

@@ -6,13 +6,18 @@
 //!             [--perfetto path] [--attrib path] [--width N]
 //! repro trace-check <perfetto.json>
 //! repro fuzz [--seed S] [--iters N] [--jobs N] [--break-forwarding]
-//!            [--replay path] [--artifacts dir]
+//!            [--replay path] [--artifacts dir] [--resume] [--panic-seed S]
 //! repro conform <bench> [--mode M] [--quick]
 //! repro conform --fuzz [--seed S] [--seeds N] [--jobs N]
+//! repro inject <bench> [--mode M] [--faults F] [--seed S] [--campaign K]
+//!              [--rate R] [--budget B] [--quick] [--jobs N] [--out path]
+//!              [--panic-plan K]
 //!
 //! targets: fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 report all
-//!          bench list trace trace-check fuzz conform
+//!          bench list trace trace-check fuzz conform inject
 //! global flags: --verbose --quiet
+//! exit codes: 0 success, 2 usage, 3 simulation/internal error,
+//!             4 correctness-check failure
 //! ```
 //!
 //! `--quick` measures the train inputs (fast); the default measures ref.
@@ -20,7 +25,7 @@
 //! per CPU; `--jobs 1` forces the serial pipeline). `--out path` writes the
 //! results as JSON in addition to the text tables on stdout: an array of
 //! table objects for figure targets, the benchmark report for `bench`
-//! (default `BENCH_repro.json` there).
+//! (default `BENCH_repro.json` there), the degradation report for `inject`.
 //!
 //! `--verbose` adds detail (per-epoch and wait tables under `trace`);
 //! `--quiet` suppresses progress chatter and the per-target resource
@@ -46,20 +51,41 @@
 //! what the model says the producer sent. The bench form checks one
 //! workload under one mode (default: the whole speculative matrix); the
 //! `--fuzz` form generates `--seeds N` random programs (default 200) and
-//! checks every speculative mode of each.
+//! checks every speculative mode of each — failing seeds are collected
+//! while the rest of the campaign completes.
 //!
 //! `fuzz` runs the differential fuzzer: `--iters N` seeds starting at
 //! `--seed S`, each generated program checked across the full mode matrix
 //! against the sequential interpreter. Failures are shrunk and written
-//! under `--artifacts dir` (default `results/fuzz`). `--break-forwarding`
+//! under `--artifacts dir` (default `results/fuzz`). Progress is
+//! checkpointed to `journal.txt` in the artifact directory; `--resume`
+//! continues a killed campaign from that checkpoint. `--break-forwarding`
 //! injects the forwarded-value recovery fault (the harness must then report
-//! mismatches — a self-test of the fuzzer). `--replay path` re-checks a
-//! previously written artifact instead of generating programs.
+//! mismatches — a self-test of the fuzzer). `--panic-seed S` deliberately
+//! panics the worker handling seed S — a self-test of panic isolation: the
+//! campaign must complete with exactly one structured worker error.
+//! `--replay path` re-checks a previously written artifact instead of
+//! generating programs.
+//!
+//! `inject` runs a seeded fault-injection campaign against one workload
+//! and mode (default `C`): `--campaign K` fault plans with seeds starting
+//! at `--seed S`, each perturbing one fault class drawn from `--faults`
+//! (`maskable`, `contract`, `both`, or a comma-separated class list; see
+//! `tls_sim::FaultClass`). Maskable plans must leave the architectural
+//! results byte-identical to sequential execution with only cycles
+//! degrading; contract-breaking plans must be rejected by the protocol
+//! conformance checker. The per-fault-class degradation report (squashes
+//! added, cycles lost, masked/rejected verdicts) is printed and, with
+//! `--out`, written as JSON. `--panic-plan K` deliberately panics the
+//! worker of plan index K (panic-isolation self-test: the campaign must
+//! complete with exactly that one worker error).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use tls_experiments::{attrib, bench, conform, figures, fuzz, par, Harness, Mode, Scale, Table};
+use tls_experiments::{
+    attrib, bench, conform, figures, fuzz, inject, par, Harness, Mode, Scale, Table,
+};
 use tls_sim::{
     ascii_timeline, check_event_stream, perfetto_json, validate_perfetto, RecordingTracer,
 };
@@ -73,7 +99,35 @@ enum Verbosity {
     Verbose,
 }
 
-fn usage() -> ExitCode {
+/// Why the driver exits nonzero. Every failure path funnels through this
+/// enum so the documented exit codes stay consistent across subcommands.
+enum CliError {
+    /// Bad command line (exit 2). The usage text has already been printed.
+    Usage,
+    /// Simulation, preparation or I/O failure (exit 3).
+    Sim(String),
+    /// A correctness check failed: fuzz property, conformance divergence,
+    /// trace invariant, or campaign soundness (exit 4).
+    Check(String),
+}
+
+impl CliError {
+    fn report(self) -> ExitCode {
+        match self {
+            CliError::Usage => ExitCode::from(2),
+            CliError::Sim(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(3)
+            }
+            CliError::Check(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(4)
+            }
+        }
+    }
+}
+
+fn usage() -> CliError {
     eprintln!(
         "usage: repro <fig2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|report|all|bench|list> \
          [--quick] [--workloads a,b,c] [--jobs N] [--out path]\n\
@@ -81,12 +135,15 @@ fn usage() -> ExitCode {
          [--perfetto path] [--attrib path] [--width N]\n\
          \x20      repro trace-check <perfetto.json>\n\
          \x20      repro fuzz [--seed S] [--iters N] [--jobs N] [--break-forwarding] \
-         [--replay path] [--artifacts dir]\n\
+         [--replay path] [--artifacts dir] [--resume] [--panic-seed S]\n\
          \x20      repro conform <bench> [--mode M] [--quick]\n\
          \x20      repro conform --fuzz [--seed S] [--seeds N] [--jobs N]\n\
-         \x20      global flags: --verbose --quiet"
+         \x20      repro inject <bench> [--mode M] [--faults F] [--seed S] [--campaign K] \
+         [--rate R] [--budget B] [--quick] [--jobs N] [--out path] [--panic-plan K]\n\
+         \x20      global flags: --verbose --quiet\n\
+         \x20      exit codes: 0 ok, 2 usage, 3 sim/internal error, 4 check failure"
     );
-    ExitCode::FAILURE
+    CliError::Usage
 }
 
 /// Peak resident-set size of this process in kB (`VmHWM` from
@@ -118,7 +175,7 @@ fn report_resources(verbosity: Verbosity, label: &str, start: Instant) {
 }
 
 /// `repro trace <bench>`: one traced run, timeline + attribution exports.
-fn run_trace_cmd(args: &[String], verbosity: Verbosity) -> ExitCode {
+fn run_trace_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
     let start = Instant::now();
     let mut bench_name: Option<String> = None;
     let mut mode_label = String::from("U");
@@ -132,79 +189,60 @@ fn run_trace_cmd(args: &[String], verbosity: Verbosity) -> ExitCode {
         match a.as_str() {
             "--mode" => match it.next() {
                 Some(m) => mode_label = m.clone(),
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--quick" => scale = Scale::Quick,
             "--interval" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => interval = n,
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--perfetto" => match it.next() {
                 Some(p) => perfetto_path = Some(p.clone()),
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--attrib" => match it.next() {
                 Some(p) => attrib_path = Some(p.clone()),
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--width" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => width = n,
-                None => return usage(),
+                None => return Err(usage()),
             },
             name if bench_name.is_none() && !name.starts_with('-') => {
                 bench_name = Some(name.to_string());
             }
-            _ => return usage(),
+            _ => return Err(usage()),
         }
     }
     let Some(bench_name) = bench_name else {
-        return usage();
+        return Err(usage());
     };
-    let Some(workload) = tls_workloads::by_name(&bench_name) else {
-        eprintln!("unknown workload `{bench_name}`");
-        return ExitCode::FAILURE;
-    };
-    let Some(mode) = Mode::from_label(&mode_label) else {
-        eprintln!("unknown mode `{mode_label}`");
-        return ExitCode::FAILURE;
-    };
+    let workload = tls_workloads::by_name(&bench_name)
+        .ok_or_else(|| CliError::Sim(format!("unknown workload `{bench_name}`")))?;
+    let mode = Mode::from_label(&mode_label)
+        .ok_or_else(|| CliError::Sim(format!("unknown mode `{mode_label}`")))?;
     if verbosity > Verbosity::Quiet {
         eprintln!(
             "tracing {bench_name} under mode {} at {scale:?} scale...",
             mode.label()
         );
     }
-    let mut harness = match Harness::new(workload, scale) {
-        Ok(h) => h,
-        Err(e) => {
-            eprintln!("failed to prepare {bench_name}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let mut harness = Harness::new(workload, scale)
+        .map_err(|e| CliError::Sim(format!("failed to prepare {bench_name}: {e}")))?;
     harness.base.trace_interval = interval;
     let mut rec = RecordingTracer::default();
-    let result = match harness.run_traced(mode, &mut rec) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("traced run failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let result = harness
+        .run_traced(mode, &mut rec)
+        .map_err(|e| CliError::Sim(format!("traced run failed: {e}")))?;
     let events = rec.events;
     // Self-check the stream before exporting anything from it.
-    let stream = match check_event_stream(&events) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("event stream violates its invariants: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let stream = check_event_stream(&events)
+        .map_err(|e| CliError::Check(format!("event stream violates its invariants: {e}")))?;
     if stream.squashes != result.total_violations {
-        eprintln!(
+        return Err(CliError::Check(format!(
             "attribution mismatch: {} squash events vs {} violations reported by the run",
             stream.squashes, result.total_violations
-        );
-        return ExitCode::FAILURE;
+        )));
     }
     let attribution = attrib::attribute(&events);
     println!(
@@ -238,112 +276,109 @@ fn run_trace_cmd(args: &[String], verbosity: Verbosity) -> ExitCode {
                 }
             }
             Err(e) => {
-                eprintln!("generated Perfetto JSON failed validation: {e}");
-                return ExitCode::FAILURE;
+                return Err(CliError::Check(format!(
+                    "generated Perfetto JSON failed validation: {e}"
+                )));
             }
         }
-        if write_out(&path, &json) == ExitCode::FAILURE {
-            return ExitCode::FAILURE;
-        }
+        write_out(&path, &json)?;
     }
     if let Some(path) = attrib_path {
         let json = attribution.to_json(&bench_name, &mode.label(), result.total_violations);
-        if write_out(&path, &json) == ExitCode::FAILURE {
-            return ExitCode::FAILURE;
-        }
+        write_out(&path, &json)?;
     }
     report_resources(verbosity, "trace", start);
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 /// `repro trace-check <file>`: validate a previously exported timeline.
-fn run_trace_check_cmd(args: &[String]) -> ExitCode {
+fn run_trace_check_cmd(args: &[String]) -> Result<(), CliError> {
     let [path] = args else {
-        return usage();
+        return Err(usage());
     };
-    let contents = match std::fs::read_to_string(path) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("failed to read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let contents = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Sim(format!("failed to read {path}: {e}")))?;
     match validate_perfetto(&contents) {
         Ok(n) => {
             println!("{path}: valid Chrome trace, {n} event(s), timestamps monotonic");
-            ExitCode::SUCCESS
+            Ok(())
         }
-        Err(e) => {
-            eprintln!("{path}: invalid Chrome trace: {e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => Err(CliError::Check(format!("{path}: invalid Chrome trace: {e}"))),
     }
 }
 
-fn run_fuzz_cmd(args: &[String]) -> ExitCode {
+fn run_fuzz_cmd(args: &[String]) -> Result<(), CliError> {
     let mut seed: u64 = 1;
     let mut iters: u64 = 1000;
     let mut jobs: usize = 0;
     let mut cfg = fuzz::FuzzConfig::default();
     let mut replay: Option<String> = None;
     let mut artifacts = String::from("results/fuzz");
+    let mut resume = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--seed" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => seed = n,
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--iters" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => iters = n,
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => jobs = n,
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--break-forwarding" => cfg.break_forwarded_recovery = true,
+            "--resume" => resume = true,
+            "--panic-seed" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => cfg.panic_on_seed = Some(n),
+                None => return Err(usage()),
+            },
             "--replay" => match it.next() {
                 Some(p) => replay = Some(p.clone()),
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--artifacts" => match it.next() {
                 Some(p) => artifacts = p.clone(),
-                None => return usage(),
+                None => return Err(usage()),
             },
-            _ => return usage(),
+            _ => return Err(usage()),
         }
     }
     par::set_jobs(jobs);
     if let Some(path) = replay {
         return match fuzz::replay(std::path::Path::new(&path), &cfg) {
-            Err(e) => {
-                eprintln!("{e}");
-                ExitCode::FAILURE
-            }
+            Err(e) => Err(CliError::Sim(e)),
             Ok(Ok(stats)) => {
                 println!(
                     "replay passed: {} region(s), {} sync load(s), {} violation(s)",
                     stats.regions, stats.sync_loads, stats.violations
                 );
-                ExitCode::SUCCESS
+                Ok(())
             }
-            Ok(Err(f)) => {
-                println!("replay still fails: {f}");
-                ExitCode::FAILURE
-            }
+            Ok(Err(f)) => Err(CliError::Check(format!("replay still fails: {f}"))),
         };
     }
     eprintln!(
-        "fuzzing {iters} seed(s) from {seed} across {} modes{}...",
+        "fuzzing {iters} seed(s) from {seed} across {} modes{}{}...",
         fuzz::ALL_MODES.len(),
         if cfg.break_forwarded_recovery {
             " with the forwarded-recovery fault injected"
         } else {
             ""
-        }
+        },
+        if resume { ", resuming from the journal" } else { "" }
     );
-    let report = fuzz::run_fuzz(seed, iters, &cfg, Some(std::path::Path::new(&artifacts)));
+    let report = fuzz::run_fuzz_resumable(
+        seed,
+        iters,
+        &cfg,
+        Some(std::path::Path::new(&artifacts)),
+        resume,
+    )
+    .map_err(CliError::Sim)?;
     println!("{}", report.summary());
     for f in &report.failures {
         println!(
@@ -358,16 +393,31 @@ fn run_fuzz_cmd(args: &[String]) -> ExitCode {
                 .unwrap_or_default()
         );
     }
+    for e in &report.run_errors {
+        println!("  {e}");
+    }
+    // With --panic-seed the deliberate worker death is the expected
+    // outcome; anything else wrong with the workers is an internal error.
+    let expected_errors = usize::from(cfg.panic_on_seed.is_some());
+    if report.run_errors.len() != expected_errors {
+        return Err(CliError::Sim(format!(
+            "{} worker(s) died (expected {expected_errors})",
+            report.run_errors.len()
+        )));
+    }
     if report.failures.is_empty() {
-        ExitCode::SUCCESS
+        Ok(())
     } else {
-        ExitCode::FAILURE
+        Err(CliError::Check(format!(
+            "{} seed(s) failed their checks",
+            report.failures.len()
+        )))
     }
 }
 
 /// `repro conform`: lockstep conformance checking against the reference
 /// protocol model — one workload, or a fuzzing campaign with `--fuzz`.
-fn run_conform_cmd(args: &[String], verbosity: Verbosity) -> ExitCode {
+fn run_conform_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
     let start = Instant::now();
     let mut bench_name: Option<String> = None;
     let mut mode_label: Option<String> = None;
@@ -382,75 +432,347 @@ fn run_conform_cmd(args: &[String], verbosity: Verbosity) -> ExitCode {
             "--fuzz" => fuzz_form = true,
             "--mode" => match it.next() {
                 Some(m) => mode_label = Some(m.clone()),
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--quick" => scale = Scale::Quick,
             "--seed" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => seed = n,
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--seeds" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => seeds = n,
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => jobs = n,
-                None => return usage(),
+                None => return Err(usage()),
             },
             name if bench_name.is_none() && !name.starts_with('-') => {
                 bench_name = Some(name.to_string());
             }
-            _ => return usage(),
+            _ => return Err(usage()),
         }
     }
     par::set_jobs(jobs);
-    let outcome = if fuzz_form {
+    if fuzz_form {
         if verbosity > Verbosity::Quiet {
             eprintln!(
                 "conformance-checking {seeds} generated seed(s) from {seed} across the \
                  speculative mode matrix..."
             );
         }
-        conform::conform_fuzz(seed, seeds, &fuzz::FuzzConfig::default())
-    } else {
-        let Some(bench_name) = bench_name else {
-            return usage();
-        };
-        if verbosity > Verbosity::Quiet {
-            eprintln!(
-                "conformance-checking {bench_name} under {} at {scale:?} scale...",
-                mode_label.as_deref().unwrap_or("the speculative mode matrix")
-            );
+        let outcome = conform::conform_fuzz(seed, seeds, &fuzz::FuzzConfig::default());
+        println!("{}", outcome.summary());
+        for f in &outcome.failures {
+            println!("  {f}");
         }
-        conform::conform_bench(&bench_name, mode_label.as_deref(), scale)
+        for e in &outcome.errors {
+            println!("  {e}");
+        }
+        report_resources(verbosity, "conform", start);
+        if !outcome.errors.is_empty() {
+            return Err(CliError::Sim(format!(
+                "{} conformance worker(s) died",
+                outcome.errors.len()
+            )));
+        }
+        if !outcome.failures.is_empty() {
+            return Err(CliError::Check(format!(
+                "{} seed(s) failed conformance",
+                outcome.failures.len()
+            )));
+        }
+        return Ok(());
+    }
+    let Some(bench_name) = bench_name else {
+        return Err(usage());
     };
-    match outcome {
+    if tls_workloads::by_name(&bench_name).is_none() {
+        return Err(CliError::Sim(format!("unknown workload `{bench_name}`")));
+    }
+    if let Some(l) = &mode_label {
+        match Mode::from_label(l) {
+            None => return Err(CliError::Sim(format!("unknown mode `{l}`"))),
+            Some(Mode::Seq) => {
+                return Err(CliError::Sim(
+                    "the sequential baseline has no speculative protocol to check".into(),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    if verbosity > Verbosity::Quiet {
+        eprintln!(
+            "conformance-checking {bench_name} under {} at {scale:?} scale...",
+            mode_label.as_deref().unwrap_or("the speculative mode matrix")
+        );
+    }
+    match conform::conform_bench(&bench_name, mode_label.as_deref(), scale) {
         Ok(report) => {
             println!("{}", report.summary());
             report_resources(verbosity, "conform", start);
-            ExitCode::SUCCESS
+            Ok(())
         }
-        Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => Err(CliError::Check(e)),
     }
 }
 
-fn write_out(path: &str, contents: &str) -> ExitCode {
-    match std::fs::write(path, contents) {
-        Ok(()) => {
-            eprintln!("wrote {path}");
-            ExitCode::SUCCESS
+/// `repro inject <bench>`: a seeded fault-injection campaign with the
+/// per-fault-class degradation report.
+fn run_inject_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
+    let start = Instant::now();
+    let mut bench_name: Option<String> = None;
+    let mut mode_label = String::from("C");
+    let mut scale = Scale::Full;
+    let mut seed: u64 = 1;
+    let mut plans: u64 = 20;
+    let mut jobs: usize = 0;
+    let mut out: Option<String> = None;
+    let mut cfg = inject::InjectConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => match it.next() {
+                Some(m) => mode_label = m.clone(),
+                None => return Err(usage()),
+            },
+            "--faults" => match it.next() {
+                Some(f) => {
+                    cfg.partition = inject::Partition::parse(f).map_err(|e| {
+                        eprintln!("{e}");
+                        CliError::Usage
+                    })?;
+                }
+                None => return Err(usage()),
+            },
+            "--seed" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => seed = n,
+                None => return Err(usage()),
+            },
+            "--campaign" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => plans = n,
+                None => return Err(usage()),
+            },
+            "--rate" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => cfg.rate = n,
+                None => return Err(usage()),
+            },
+            "--budget" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => cfg.budget = n,
+                None => return Err(usage()),
+            },
+            "--panic-plan" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => cfg.panic_on_plan = Some(n),
+                None => return Err(usage()),
+            },
+            "--quick" => scale = Scale::Quick,
+            "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return Err(usage()),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return Err(usage()),
+            },
+            name if bench_name.is_none() && !name.starts_with('-') => {
+                bench_name = Some(name.to_string());
+            }
+            _ => return Err(usage()),
         }
-        Err(e) => {
-            eprintln!("failed to write {path}: {e}");
-            ExitCode::FAILURE
+    }
+    par::set_jobs(jobs);
+    let Some(bench_name) = bench_name else {
+        return Err(usage());
+    };
+    let workload = tls_workloads::by_name(&bench_name)
+        .ok_or_else(|| CliError::Sim(format!("unknown workload `{bench_name}`")))?;
+    let mode = Mode::from_label(&mode_label)
+        .ok_or_else(|| CliError::Sim(format!("unknown mode `{mode_label}`")))?;
+    if mode == Mode::Seq {
+        return Err(CliError::Sim(
+            "the sequential baseline has no speculative protocol to perturb".into(),
+        ));
+    }
+    if verbosity > Verbosity::Quiet {
+        eprintln!(
+            "injecting {plans} fault plan(s) from seed {seed} into {bench_name}/{} at \
+             {scale:?} scale...",
+            mode.label()
+        );
+    }
+    let h = Harness::new(workload, scale)
+        .map_err(|e| CliError::Sim(format!("failed to prepare {bench_name}: {e}")))?;
+    let report = inject::run_campaign(&h, mode, seed, plans, &cfg)
+        .map_err(|e| CliError::Sim(format!("baseline run failed: {e}")))?;
+    print!("{}", report.table());
+    println!("{}", report.summary());
+    for e in &report.errors {
+        println!("  {e}");
+    }
+    if let Some(path) = out {
+        write_out(&path, &report.to_json())?;
+    }
+    report_resources(verbosity, "inject", start);
+    // With --panic-plan the deliberate worker death is the expected
+    // outcome; anything else wrong with the workers is an internal error.
+    let expected_errors = usize::from(cfg.panic_on_plan.is_some());
+    if report.errors.len() != expected_errors {
+        return Err(CliError::Sim(format!(
+            "{} worker(s) died (expected {expected_errors})",
+            report.errors.len()
+        )));
+    }
+    report.sound().map_err(CliError::Check)
+}
+
+fn write_out(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents)
+        .map_err(|e| CliError::Sim(format!("failed to write {path}: {e}")))?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+fn run_figures(
+    target: &str,
+    args: &[String],
+    verbosity: Verbosity,
+) -> Result<(), CliError> {
+    let start = Instant::now();
+    let mut scale = Scale::Full;
+    let mut filter: Option<Vec<String>> = None;
+    let mut jobs: usize = 0; // 0 = one worker per CPU
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--workloads" => {
+                let Some(list) = it.next() else {
+                    return Err(usage());
+                };
+                filter = Some(list.split(',').map(str::to_string).collect());
+            }
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|n| n.parse().ok()) else {
+                    return Err(usage());
+                };
+                jobs = n;
+            }
+            "--out" => {
+                let Some(path) = it.next() else {
+                    return Err(usage());
+                };
+                out = Some(path.clone());
+            }
+            _ => return Err(usage()),
         }
+    }
+    par::set_jobs(jobs);
+    if target != "all" && target != "bench" && !figures::TARGETS.contains(&target) {
+        return Err(usage());
+    }
+    let workloads: Vec<Workload> = match &filter {
+        None => tls_workloads::all(),
+        Some(names) => {
+            let mut ws = Vec::new();
+            for n in names {
+                match tls_workloads::by_name(n) {
+                    Some(w) => ws.push(w),
+                    None => return Err(CliError::Sim(format!("unknown workload `{n}`"))),
+                }
+            }
+            ws
+        }
+    };
+
+    if target == "bench" {
+        if verbosity > Verbosity::Quiet {
+            eprintln!(
+                "benchmarking the pipeline on {} workload(s) at {:?} scale \
+                 (serial pass, then parallel)...",
+                workloads.len(),
+                scale
+            );
+        }
+        let report = bench::run_bench(&workloads, scale, jobs)
+            .map_err(|e| CliError::Sim(format!("bench failed: {e}")))?;
+        println!(
+            "serial {:.1} ms, parallel {:.1} ms ({} jobs, {} cores): speedup {:.2}x",
+            report.serial_wall_ms,
+            report.parallel_wall_ms,
+            report.jobs,
+            report.host_cores,
+            report.speedup
+        );
+        println!(
+            "tracing overhead: null {:.0} instr/s vs counting {:.0} instr/s ({:+.2}%)",
+            report.null_tracer_ips,
+            report.counting_tracer_ips,
+            report.tracing_overhead_pct
+        );
+        write_out(out.as_deref().unwrap_or("BENCH_repro.json"), &report.to_json())?;
+        report_resources(verbosity, "bench", start);
+        return Ok(());
+    }
+
+    if verbosity > Verbosity::Quiet {
+        eprintln!(
+            "preparing {} workload(s) at {:?} scale (compile + profile + sequential baseline)...",
+            workloads.len(),
+            scale
+        );
+        if verbosity == Verbosity::Verbose {
+            for w in &workloads {
+                eprintln!("  {} ({})", w.name, w.paper_name);
+            }
+        }
+    }
+    let harnesses = Harness::prepare_all(&workloads, scale)
+        .map_err(|e| CliError::Sim(format!("failed to prepare workloads: {e}")))?;
+    report_resources(verbosity, "prepare", start);
+
+    let targets: Vec<&str> = if target == "all" {
+        figures::TARGETS.to_vec()
+    } else {
+        vec![target]
+    };
+    let mut tables: Vec<Table> = Vec::new();
+    // Degrade gracefully: a failing figure is recorded and the remaining
+    // targets still render, so one bad target cannot hide the others.
+    let mut failed: Vec<String> = Vec::new();
+    for t in targets {
+        let t_start = Instant::now();
+        let Some(table) = figures::by_name(t, &harnesses) else {
+            return Err(usage());
+        };
+        match table {
+            Ok(table) => {
+                println!("{table}");
+                tables.push(table);
+                report_resources(verbosity, t, t_start);
+            }
+            Err(e) => {
+                eprintln!("{t} failed: {e}");
+                failed.push(format!("{t}: {e}"));
+            }
+        }
+    }
+    if let Some(path) = out {
+        let json: Vec<String> = tables.iter().map(Table::to_json).collect();
+        write_out(&path, &format!("[{}]", json.join(",")))?;
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Sim(format!(
+            "{} target(s) failed: {}",
+            failed.len(),
+            failed.join("; ")
+        )))
     }
 }
 
-fn main() -> ExitCode {
+fn real_main() -> Result<(), CliError> {
     let mut verbosity = Verbosity::Normal;
     let args: Vec<String> = std::env::args()
         .skip(1)
@@ -467,159 +789,27 @@ fn main() -> ExitCode {
         })
         .collect();
     let Some(target) = args.first().cloned() else {
-        return usage();
+        return Err(usage());
     };
-    if target == "list" {
-        for w in tls_workloads::all() {
-            println!("{:<14} {:<20} {}", w.name, w.paper_name, w.pattern);
+    match target.as_str() {
+        "list" => {
+            for w in tls_workloads::all() {
+                println!("{:<14} {:<20} {}", w.name, w.paper_name, w.pattern);
+            }
+            Ok(())
         }
-        return ExitCode::SUCCESS;
+        "fuzz" => run_fuzz_cmd(&args[1..]),
+        "conform" => run_conform_cmd(&args[1..], verbosity),
+        "inject" => run_inject_cmd(&args[1..], verbosity),
+        "trace" => run_trace_cmd(&args[1..], verbosity),
+        "trace-check" => run_trace_check_cmd(&args[1..]),
+        t => run_figures(t, &args[1..], verbosity),
     }
-    if target == "fuzz" {
-        return run_fuzz_cmd(&args[1..]);
-    }
-    if target == "conform" {
-        return run_conform_cmd(&args[1..], verbosity);
-    }
-    if target == "trace" {
-        return run_trace_cmd(&args[1..], verbosity);
-    }
-    if target == "trace-check" {
-        return run_trace_check_cmd(&args[1..]);
-    }
-    let start = Instant::now();
-    let mut scale = Scale::Full;
-    let mut filter: Option<Vec<String>> = None;
-    let mut jobs: usize = 0; // 0 = one worker per CPU
-    let mut out: Option<String> = None;
-    let mut it = args.iter().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--quick" => scale = Scale::Quick,
-            "--workloads" => {
-                let Some(list) = it.next() else {
-                    return usage();
-                };
-                filter = Some(list.split(',').map(str::to_string).collect());
-            }
-            "--jobs" => {
-                let Some(n) = it.next().and_then(|n| n.parse().ok()) else {
-                    return usage();
-                };
-                jobs = n;
-            }
-            "--out" => {
-                let Some(path) = it.next() else {
-                    return usage();
-                };
-                out = Some(path.clone());
-            }
-            _ => return usage(),
-        }
-    }
-    par::set_jobs(jobs);
-    if target != "all" && target != "bench" && !figures::TARGETS.contains(&target.as_str()) {
-        return usage();
-    }
-    let workloads: Vec<Workload> = match &filter {
-        None => tls_workloads::all(),
-        Some(names) => {
-            let mut out = Vec::new();
-            for n in names {
-                match tls_workloads::by_name(n) {
-                    Some(w) => out.push(w),
-                    None => {
-                        eprintln!("unknown workload `{n}`");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            out
-        }
-    };
+}
 
-    if target == "bench" {
-        if verbosity > Verbosity::Quiet {
-            eprintln!(
-                "benchmarking the pipeline on {} workload(s) at {:?} scale \
-                 (serial pass, then parallel)...",
-                workloads.len(),
-                scale
-            );
-        }
-        let report = match bench::run_bench(&workloads, scale, jobs) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("bench failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        println!(
-            "serial {:.1} ms, parallel {:.1} ms ({} jobs, {} cores): speedup {:.2}x",
-            report.serial_wall_ms,
-            report.parallel_wall_ms,
-            report.jobs,
-            report.host_cores,
-            report.speedup
-        );
-        println!(
-            "tracing overhead: null {:.0} instr/s vs counting {:.0} instr/s ({:+.2}%)",
-            report.null_tracer_ips,
-            report.counting_tracer_ips,
-            report.tracing_overhead_pct
-        );
-        let code = write_out(out.as_deref().unwrap_or("BENCH_repro.json"), &report.to_json());
-        report_resources(verbosity, "bench", start);
-        return code;
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => e.report(),
     }
-
-    if verbosity > Verbosity::Quiet {
-        eprintln!(
-            "preparing {} workload(s) at {:?} scale (compile + profile + sequential baseline)...",
-            workloads.len(),
-            scale
-        );
-        if verbosity == Verbosity::Verbose {
-            for w in &workloads {
-                eprintln!("  {} ({})", w.name, w.paper_name);
-            }
-        }
-    }
-    let harnesses = match Harness::prepare_all(&workloads, scale) {
-        Ok(hs) => hs,
-        Err(e) => {
-            eprintln!("failed to prepare workloads: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    report_resources(verbosity, "prepare", start);
-
-    let targets: Vec<&str> = if target == "all" {
-        figures::TARGETS.to_vec()
-    } else {
-        vec![target.as_str()]
-    };
-    let mut tables: Vec<Table> = Vec::new();
-    for t in targets {
-        let t_start = Instant::now();
-        let Some(table) = figures::by_name(t, &harnesses) else {
-            return usage();
-        };
-        match table {
-            Ok(table) => {
-                println!("{table}");
-                tables.push(table);
-                report_resources(verbosity, t, t_start);
-            }
-            Err(e) => {
-                eprintln!("{t} failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    if let Some(path) = out {
-        let json: Vec<String> = tables.iter().map(Table::to_json).collect();
-        return write_out(&path, &format!("[{}]", json.join(",")));
-    }
-    ExitCode::SUCCESS
 }

@@ -87,24 +87,57 @@ pub fn conform_bench(
     conform_harness(&h, &modes).map_err(|e| e.to_string())
 }
 
+/// Outcome of a graceful conformance campaign: the whole seed matrix runs
+/// to completion, collecting every per-seed check failure and every worker
+/// panic instead of aborting on the first.
+#[derive(Clone, Debug, Default)]
+pub struct ConformFuzzOutcome {
+    /// Merged counters of the seeds that conformed.
+    pub report: ConformReport,
+    /// Per-seed check failures (divergence or pipeline error), seed order.
+    pub failures: Vec<String>,
+    /// Workers that panicked; the rest of the matrix still completed.
+    pub errors: Vec<par::RunError>,
+}
+
+impl ConformFuzzOutcome {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}; {} failure(s), {} worker error(s)",
+            self.report.summary(),
+            self.failures.len(),
+            self.errors.len()
+        )
+    }
+}
+
 /// `repro conform --fuzz`: generate `seeds` programs starting at `seed0`
 /// (the differential fuzzer's generator and compile options) and
 /// conformance-check every speculative mode of each, in parallel.
 ///
-/// # Errors
-/// The first failure in seed order — a pipeline failure on the generated
-/// program, or a protocol divergence.
-pub fn conform_fuzz(seed0: u64, seeds: u64, cfg: &FuzzConfig) -> Result<ConformReport, String> {
-    let per_seed = par::par_map((0..seeds).map(|i| seed0 + i).collect(), |_, seed| {
-        conform_seed(seed, cfg).map_err(|e| format!("seed {seed}: {e}"))
-    });
-    let mut report = ConformReport::default();
+/// Degrades gracefully: a failing or panicking seed is recorded and the
+/// remaining seeds still run, so one bad seed cannot mask the rest of the
+/// campaign.
+pub fn conform_fuzz(seed0: u64, seeds: u64, cfg: &FuzzConfig) -> ConformFuzzOutcome {
+    let per_seed = par::par_map_isolated(
+        (0..seeds).map(|i| seed0 + i).collect::<Vec<u64>>(),
+        std::time::Duration::from_secs(300),
+        |_, seed| format!("conform seed {seed}"),
+        |_, seed| conform_seed(seed, cfg).map_err(|e| format!("seed {seed}: {e}")),
+    );
+    let mut out = ConformFuzzOutcome::default();
     for r in per_seed {
-        let sub = r?;
-        report.runs += sub.runs;
-        report.stats.merge(&sub.stats);
+        match r {
+            Ok(Ok(sub)) => {
+                out.report.runs += sub.runs;
+                out.report.stats.merge(&sub.stats);
+            }
+            Ok(Err(failure)) => out.failures.push(failure),
+            Err(e) => out.errors.push(e),
+        }
     }
-    Ok(report)
+    out
 }
 
 /// Conformance-check one generated seed across the speculative matrix.

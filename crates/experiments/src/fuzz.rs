@@ -52,6 +52,10 @@ pub struct FuzzConfig {
     pub max_interp_steps: u64,
     /// Simulator step cap per mode run.
     pub max_sim_steps: u64,
+    /// Deliberately panic the worker handling this seed (`--panic-seed`) —
+    /// a self-test of panic isolation: the campaign must complete and
+    /// report exactly one structured [`par::RunError`].
+    pub panic_on_seed: Option<u64>,
 }
 
 impl Default for FuzzConfig {
@@ -63,6 +67,7 @@ impl Default for FuzzConfig {
             // two million steps only triggers on a shrinker-broken loop.
             max_interp_steps: 2_000_000,
             max_sim_steps: 20_000_000,
+            panic_on_seed: None,
         }
     }
 }
@@ -479,6 +484,9 @@ pub struct FuzzReport {
     pub iters: u64,
     /// Failing seeds, in seed order.
     pub failures: Vec<FuzzFailure>,
+    /// Workers that panicked instead of returning a verdict; the rest of
+    /// the campaign still completed (see [`par::par_map_isolated`]).
+    pub run_errors: Vec<par::RunError>,
     /// Seeds whose compilation selected at least one speculative region.
     pub seeds_with_regions: u64,
     /// Seeds with at least one compiler-inserted synchronized load.
@@ -494,10 +502,11 @@ impl FuzzReport {
     /// Human-readable one-paragraph summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} seed(s): {} failure(s); {} with regions, {} with sync loads, \
-             {} with violations; {} oracle steps",
+            "{} seed(s): {} failure(s), {} worker error(s); {} with regions, \
+             {} with sync loads, {} with violations; {} oracle steps",
             self.iters,
             self.failures.len(),
+            self.run_errors.len(),
             self.seeds_with_regions,
             self.seeds_with_sync_loads,
             self.seeds_with_violations,
@@ -524,27 +533,219 @@ pub fn artifact_text(f: &FuzzFailure) -> String {
     )
 }
 
-/// Run `iters` seeds starting at `seed0` over [`par::par_map`]; shrink each
-/// failure and, when `out_dir` is given, write the artifact there.
+/// Seeds per journal checkpoint: long campaigns flush their progress to
+/// `journal.txt` in the artifact directory after every chunk, so a killed
+/// nightly restarts with `--resume` instead of from scratch.
+const JOURNAL_CHUNK: usize = 256;
+
+/// Persisted campaign progress (`<artifacts>/journal.txt`), a `key=value`
+/// text file: the seed range, the contiguous prefix already completed, the
+/// accumulated coverage counters, and the seeds that failed (`failed=`) or
+/// whose worker panicked (`errored=`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Journal {
+    /// First seed of the campaign.
+    pub seed0: u64,
+    /// Total seeds the campaign was asked for.
+    pub iters: u64,
+    /// Contiguous prefix of the seed range already processed.
+    pub done: u64,
+    /// Seeds whose compilation selected at least one region.
+    pub regions: u64,
+    /// Seeds with at least one synchronized load.
+    pub sync_loads: u64,
+    /// Seeds with at least one violation.
+    pub violations: u64,
+    /// Total oracle steps.
+    pub oracle_steps: u64,
+    /// Seeds that failed a property check.
+    pub failed: Vec<u64>,
+    /// Seeds whose worker panicked (retried first on resume).
+    pub errored: Vec<u64>,
+}
+
+impl Journal {
+    /// Parse the `key=value` text (unknown keys are ignored).
+    ///
+    /// # Errors
+    /// A description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Journal, String> {
+        let mut j = Journal::default();
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("journal line {}: expected key=value, got `{line}`", n + 1))?;
+            let parsed: u64 = value
+                .parse()
+                .map_err(|_| format!("journal line {}: `{key}` is not a number: `{value}`", n + 1))?;
+            match key {
+                "seed0" => j.seed0 = parsed,
+                "iters" => j.iters = parsed,
+                "done" => j.done = parsed,
+                "regions" => j.regions = parsed,
+                "sync_loads" => j.sync_loads = parsed,
+                "violations" => j.violations = parsed,
+                "oracle_steps" => j.oracle_steps = parsed,
+                "failed" => j.failed.push(parsed),
+                "errored" => j.errored.push(parsed),
+                _ => {}
+            }
+        }
+        Ok(j)
+    }
+
+    /// Render back to the `key=value` text form.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "# repro fuzz journal; resume with: repro fuzz --resume --artifacts <this dir>\n\
+             seed0={}\niters={}\ndone={}\nregions={}\nsync_loads={}\nviolations={}\n\
+             oracle_steps={}\n",
+            self.seed0, self.iters, self.done, self.regions, self.sync_loads, self.violations,
+            self.oracle_steps
+        );
+        for f in &self.failed {
+            s.push_str(&format!("failed={f}\n"));
+        }
+        for e in &self.errored {
+            s.push_str(&format!("errored={e}\n"));
+        }
+        s
+    }
+}
+
+/// Run `iters` seeds starting at `seed0`; shrink each failure and, when
+/// `out_dir` is given, write the artifact there. Equivalent to
+/// [`run_fuzz_resumable`] with `resume = false` (which cannot fail).
 pub fn run_fuzz(seed0: u64, iters: u64, cfg: &FuzzConfig, out_dir: Option<&Path>) -> FuzzReport {
-    let seeds: Vec<u64> = (0..iters).map(|i| seed0.wrapping_add(i)).collect();
-    let outcomes = par::par_map(seeds, |_, seed| (seed, check_seed(seed, cfg)));
+    run_fuzz_resumable(seed0, iters, cfg, out_dir, false)
+        .expect("a fresh campaign never fails to start")
+}
+
+/// The journaled campaign driver behind `repro fuzz [--resume]`.
+///
+/// Seeds fan out over [`par::par_map_isolated`]: a panicking worker is
+/// captured as a [`par::RunError`] and the rest of the campaign completes.
+/// With an artifact directory, progress is checkpointed to `journal.txt`
+/// every [`JOURNAL_CHUNK`] seeds; `resume` picks up from that checkpoint —
+/// previously-errored seeds are retried first, previously-failed seeds are
+/// re-checked (and re-shrunk if still failing), then the remaining range
+/// continues. Journal *write* failures only warn: losing a checkpoint must
+/// not kill a running campaign.
+///
+/// # Errors
+/// Only on `resume`: a missing/corrupt journal, or one recorded for a
+/// different `--seed`/`--iters` range.
+pub fn run_fuzz_resumable(
+    seed0: u64,
+    iters: u64,
+    cfg: &FuzzConfig,
+    out_dir: Option<&Path>,
+    resume: bool,
+) -> Result<FuzzReport, String> {
+    let journal_path = out_dir.map(|d| d.join("journal.txt"));
+    let mut j = Journal {
+        seed0,
+        iters,
+        ..Journal::default()
+    };
+    let mut retry: Vec<u64> = Vec::new();
+    if resume {
+        let Some(path) = &journal_path else {
+            return Err("--resume needs an artifact directory to read the journal from".into());
+        };
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot resume: read {}: {e}", path.display()))?;
+        let prev = Journal::parse(&text)?;
+        if prev.seed0 != seed0 || prev.iters != iters {
+            return Err(format!(
+                "journal {} records a campaign of {} seed(s) from {}, not {iters} from {seed0}",
+                path.display(),
+                prev.iters,
+                prev.seed0
+            ));
+        }
+        // Panicked and failed seeds are inside the completed prefix but
+        // have no verdict / may be fixed now: run them again.
+        retry = prev.errored.clone();
+        retry.extend(prev.failed.iter().copied());
+        retry.sort_unstable();
+        retry.dedup();
+        j = Journal {
+            failed: Vec::new(),
+            errored: Vec::new(),
+            ..prev
+        };
+    }
     let mut report = FuzzReport {
         iters,
+        seeds_with_regions: j.regions,
+        seeds_with_sync_loads: j.sync_loads,
+        seeds_with_violations: j.violations,
+        oracle_steps: j.oracle_steps,
         ..FuzzReport::default()
     };
-    for (seed, outcome) in outcomes {
-        match outcome {
-            Ok(stats) => {
-                report.seeds_with_regions += u64::from(stats.regions > 0);
-                report.seeds_with_sync_loads += u64::from(stats.sync_loads > 0);
-                report.seeds_with_violations += u64::from(stats.violations > 0);
-                report.oracle_steps += stats.oracle_steps;
+    let checkpoint = |j: &Journal| {
+        if let Some(path) = &journal_path {
+            let write = path
+                .parent()
+                .map_or(Ok(()), std::fs::create_dir_all)
+                .and_then(|()| std::fs::write(path, j.render()));
+            if let Err(e) = write {
+                eprintln!("warning: failed to write fuzz journal {}: {e}", path.display());
             }
-            Err(f) => report.failures.push(shrink_failure(seed, f, cfg, out_dir)),
         }
+    };
+    let process = |seeds: &[u64], j: &mut Journal, report: &mut FuzzReport| {
+        let outcomes = par::par_map_isolated(
+            seeds.to_vec(),
+            std::time::Duration::from_secs(300),
+            |_, seed| format!("fuzz seed {seed}"),
+            |_, seed| {
+                if cfg.panic_on_seed == Some(seed) {
+                    panic!("deliberate worker panic on seed {seed} (--panic-seed)");
+                }
+                check_seed(seed, cfg)
+            },
+        );
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let seed = seeds[i];
+            match outcome {
+                Ok(Ok(stats)) => {
+                    report.seeds_with_regions += u64::from(stats.regions > 0);
+                    report.seeds_with_sync_loads += u64::from(stats.sync_loads > 0);
+                    report.seeds_with_violations += u64::from(stats.violations > 0);
+                    report.oracle_steps += stats.oracle_steps;
+                    j.regions = report.seeds_with_regions;
+                    j.sync_loads = report.seeds_with_sync_loads;
+                    j.violations = report.seeds_with_violations;
+                    j.oracle_steps = report.oracle_steps;
+                }
+                Ok(Err(f)) => {
+                    j.failed.push(seed);
+                    report.failures.push(shrink_failure(seed, f, cfg, out_dir));
+                }
+                Err(e) => {
+                    j.errored.push(seed);
+                    report.run_errors.push(e);
+                }
+            }
+        }
+    };
+    if !retry.is_empty() {
+        process(&retry, &mut j, &mut report);
+        checkpoint(&j);
     }
-    report
+    let remaining: Vec<u64> = (j.done..iters).map(|i| seed0.wrapping_add(i)).collect();
+    for chunk in remaining.chunks(JOURNAL_CHUNK) {
+        process(chunk, &mut j, &mut report);
+        j.done += chunk.len() as u64;
+        checkpoint(&j);
+    }
+    Ok(report)
 }
 
 fn shrink_failure(seed: u64, f: Failure, cfg: &FuzzConfig, out_dir: Option<&Path>) -> FuzzFailure {
@@ -581,9 +782,12 @@ fn shrink_failure(seed: u64, f: Failure, cfg: &FuzzConfig, out_dir: Option<&Path
     };
     if let Some(dir) = out_dir {
         let path = dir.join(format!("seed_{seed}_{}.txt", slug(&out.failure.kind.signature())));
-        if std::fs::create_dir_all(dir).is_ok() && std::fs::write(&path, artifact_text(&out)).is_ok()
+        // Artifact-write failures must not kill the campaign: warn and move
+        // on — the failure itself is still in the report.
+        match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, artifact_text(&out)))
         {
-            out.artifact = Some(path.display().to_string());
+            Ok(()) => out.artifact = Some(path.display().to_string()),
+            Err(e) => eprintln!("warning: failed to write fuzz artifact {}: {e}", path.display()),
         }
     }
     out
@@ -635,6 +839,53 @@ mod tests {
             )
         });
         assert!(caught, "injected recovery fault never detected in 20 seeds");
+    }
+
+    #[test]
+    fn journal_round_trips() {
+        let j = Journal {
+            seed0: 17,
+            iters: 1000,
+            done: 512,
+            regions: 400,
+            sync_loads: 300,
+            violations: 120,
+            oracle_steps: 99_999,
+            failed: vec![23, 77],
+            errored: vec![501],
+        };
+        assert_eq!(Journal::parse(&j.render()), Ok(j));
+        assert!(Journal::parse("done\n").is_err());
+        assert!(Journal::parse("done=many\n").is_err());
+        // Unknown keys and comments are tolerated.
+        let tolerant = Journal::parse("# note\nfuture_key=9\nseed0=3\n").expect("parses");
+        assert_eq!(tolerant.seed0, 3);
+    }
+
+    #[test]
+    fn panicking_seed_is_isolated_and_journaled() {
+        let dir = std::env::temp_dir().join(format!("tls_fuzz_journal_{}", std::process::id()));
+        let cfg = FuzzConfig {
+            panic_on_seed: Some(2),
+            ..FuzzConfig::default()
+        };
+        let report =
+            run_fuzz_resumable(1, 4, &cfg, Some(&dir), false).expect("fresh campaign starts");
+        assert_eq!(report.run_errors.len(), 1, "exactly one worker died");
+        assert!(report.run_errors[0].detail.contains("deliberate worker panic"));
+        assert!(report.failures.is_empty(), "a panic is not a property failure");
+        let journal = std::fs::read_to_string(dir.join("journal.txt")).expect("journal written");
+        let j = Journal::parse(&journal).expect("journal parses");
+        assert_eq!((j.done, j.errored.as_slice()), (4, &[2u64][..]));
+        // Resume with the panic gone: the errored seed is retried and the
+        // campaign ends clean.
+        let resumed = run_fuzz_resumable(1, 4, &FuzzConfig::default(), Some(&dir), true)
+            .expect("journal resumes");
+        assert!(resumed.run_errors.is_empty());
+        assert!(resumed.failures.is_empty());
+        // A mismatched range is refused.
+        assert!(run_fuzz_resumable(9, 4, &FuzzConfig::default(), Some(&dir), true).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -446,6 +446,45 @@ impl Harness {
         Ok(result)
     }
 
+    /// Run `mode` with `plan` injected into the hardware ([`tls_sim::FaultPlan`]).
+    ///
+    /// With `checked`, a divergence from the sequential baseline is an
+    /// error — the route for *maskable* plans, whose perturbations the
+    /// protocol must absorb. Without it the (possibly corrupted) result is
+    /// returned as-is — the route for *contract-breaking* plans, where the
+    /// caller instead feeds the recorded event stream to
+    /// [`Harness::check_conformance`] and demands a rejection.
+    ///
+    /// # Errors
+    /// Propagates simulation failures (including the plan's own
+    /// [`tls_sim::SimError::FaultPlanExhausted`]); with `checked`, returns
+    /// [`ExperimentError::WrongOutput`] if the run diverges.
+    pub fn run_faulted<T: Tracer>(
+        &self,
+        mode: Mode,
+        plan: tls_sim::FaultPlan,
+        checked: bool,
+        tracer: &mut T,
+    ) -> Result<SimResult, ExperimentError> {
+        let (module, mut cfg, oracle) = self.resolve(mode);
+        cfg.inject = Some(plan);
+        let machine = match oracle {
+            Some(o) => Machine::with_oracle(module, cfg, o),
+            None => Machine::new(module, cfg),
+        };
+        let result = machine.run_traced(tracer)?;
+        if checked {
+            if let Some(detail) = self.check(&result) {
+                return Err(ExperimentError::WrongOutput {
+                    workload: self.name.clone(),
+                    mode: mode.label(),
+                    detail,
+                });
+            }
+        }
+        Ok(result)
+    }
+
     /// Resolve a mode to the module, full machine configuration and value
     /// oracle its simulation uses.
     fn resolve(&self, mode: Mode) -> (&tls_ir::Module, SimConfig, Option<&ValueOracle>) {

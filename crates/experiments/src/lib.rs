@@ -34,6 +34,7 @@ pub mod conform;
 pub mod figures;
 pub mod fuzz;
 mod harness;
+pub mod inject;
 pub mod par;
 mod report;
 

@@ -13,8 +13,10 @@
 //! `repro --jobs N` flag); `0` (the default) means one worker per available
 //! CPU. No external crates: plain `std::thread::scope`.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Global worker-count cap; 0 = auto (available parallelism).
 static JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -79,6 +81,143 @@ where
         .collect()
 }
 
+/// One failed unit of an isolated fan-out ([`par_map_isolated`]): which
+/// item died, its human-readable label, and the panic payload (or error
+/// text) that killed it.
+#[derive(Clone, Debug)]
+pub struct RunError {
+    /// Item index in the input vector.
+    pub index: usize,
+    /// The label the caller attached to the item (workload/mode/seed).
+    pub label: String,
+    /// Panic message or error description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker for {} (item {}) failed: {}", self.label, self.index, self.detail)
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked with a non-string payload".into()
+    }
+}
+
+/// Like [`par_map`], but each item runs under `catch_unwind`: one
+/// panicking worker is converted into a [`RunError`] in its slot while the
+/// rest of the fan-out completes. A monitor thread additionally warns on
+/// stderr (once per item) when an item runs past `soft_deadline` — a
+/// wall-clock watchdog for campaign items stuck in the simulator, which
+/// cannot be killed but can at least be named.
+///
+/// `label` names each item for the error report; it is called before the
+/// work starts, so it must be cheap and panic-free.
+pub fn par_map_isolated<T, R, F, L>(
+    items: Vec<T>,
+    soft_deadline: Duration,
+    label: L,
+    f: F,
+) -> Vec<Result<R, RunError>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+    L: Fn(usize, &T) -> String + Sync,
+{
+    let n = items.len();
+    let workers = jobs_for(n);
+    let guarded = |i: usize, item: T, lbl: &str| -> Result<R, RunError> {
+        std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|p| RunError {
+            index: i,
+            label: lbl.to_string(),
+            detail: panic_text(p),
+        })
+    };
+    if workers <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let lbl = label(i, &x);
+                guarded(i, x, &lbl)
+            })
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<Result<R, RunError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    // Per-worker "currently running" slots the watchdog polls.
+    let active: Vec<Mutex<Option<(usize, String, Instant)>>> =
+        (0..workers).map(|_| Mutex::new(None)).collect();
+    let completed = AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for active_slot in &active {
+            let slots = &slots;
+            let results = &results;
+            let next = &next;
+            let completed = &completed;
+            let guarded = &guarded;
+            let label = &label;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("each slot is claimed once");
+                let lbl = label(i, &item);
+                *active_slot.lock().expect("active lock") = Some((i, lbl.clone(), Instant::now()));
+                let r = guarded(i, item, &lbl);
+                *active_slot.lock().expect("active lock") = None;
+                *results[i].lock().expect("result lock") = Some(r);
+                completed.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Watchdog: warn once per item running past the soft deadline,
+        // until every item has completed.
+        let active_ref = &active;
+        let completed_ref = &completed;
+        s.spawn(move || {
+            let mut warned = vec![false; n];
+            while completed_ref.load(Ordering::Relaxed) < n {
+                std::thread::sleep(Duration::from_millis(50));
+                for slot in active_ref {
+                    if let Some((i, lbl, started)) = slot.lock().expect("active lock").as_ref() {
+                        if started.elapsed() > soft_deadline && !warned[*i] {
+                            warned[*i] = true;
+                            eprintln!(
+                                "warning: {} (item {}) still running after {:.1} s",
+                                lbl,
+                                i,
+                                started.elapsed().as_secs_f64()
+                            );
+                        }
+                    }
+                }
+            }
+        });
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +238,43 @@ mod tests {
     #[test]
     fn single_item_runs_inline() {
         assert_eq!(par_map(vec![21], |_, x: i32| x * 2), vec![42]);
+    }
+
+    #[test]
+    fn isolated_map_contains_a_panicking_worker() {
+        let out = par_map_isolated(
+            (0..32).collect::<Vec<u64>>(),
+            Duration::from_secs(60),
+            |_, x| format!("item-{x}"),
+            |_, x| {
+                if x == 13 {
+                    panic!("unlucky item");
+                }
+                x * 2
+            },
+        );
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            if i == 13 {
+                let e = r.as_ref().expect_err("item 13 panicked");
+                assert_eq!(e.index, 13);
+                assert_eq!(e.label, "item-13");
+                assert!(e.detail.contains("unlucky item"), "{}", e.detail);
+            } else {
+                assert_eq!(*r.as_ref().expect("others complete"), i as u64 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_single_item_is_caught_inline() {
+        let out = par_map_isolated(
+            vec![0u64],
+            Duration::from_secs(60),
+            |_, _| "solo".into(),
+            |_, _| -> u64 { panic!("solo failure") },
+        );
+        assert!(out[0].as_ref().is_err_and(|e| e.detail.contains("solo failure")));
     }
 
     #[test]

@@ -142,6 +142,15 @@ impl MemSystem {
         self.l2.access(line);
     }
 
+    /// Invalidate a line in `core`'s own L1 (and the L2): the fault
+    /// injector's spurious eviction. Purely a timing perturbation — the
+    /// next access misses and refetches; caches hold no correctness state.
+    pub fn invalidate_local(&mut self, core: usize, addr: i64) {
+        let line = line_of(addr);
+        self.l1[core].invalidate(line);
+        self.l2.invalidate(line);
+    }
+
     /// Invalidate a line in every *other* core's L1 (commit-time coherence).
     pub fn invalidate_others(&mut self, core: usize, addr: i64) {
         let line = line_of(addr);

@@ -5,6 +5,8 @@ use std::collections::HashSet;
 
 use tls_ir::Sid;
 
+use crate::inject::FaultPlan;
+
 /// How a compiler-inserted `SyncLoad` behaves.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum SyncLoadPolicy {
@@ -127,6 +129,19 @@ pub struct SimConfig {
     pub trace_interval: u64,
     /// Safety net: maximum dynamic instructions per simulation.
     pub max_steps: u64,
+    /// Safety net: maximum simulated cycles per run. A module whose loop
+    /// never terminates (a hostile generated program, or a simulator bug)
+    /// trips this budget and returns `SimError::CycleBudgetExceeded`
+    /// instead of spinning forever.
+    pub max_cycles: u64,
+    /// **Fault injection, test-only.** A seeded plan perturbing the
+    /// simulated hardware at defined protocol points (see
+    /// [`crate::inject`]): corrupted/dropped/delayed signals, spurious
+    /// evictions, deferred or suppressed violations, forced mispredictions.
+    /// Maskable classes must leave final memory oracle-equal; the
+    /// contract-breaking classes must be rejected by the protocol model.
+    /// Never set outside tests and the `repro inject` campaign driver.
+    pub inject: Option<FaultPlan>,
     /// **Fault injection, test-only.** Disables the `use_forwarded_value`
     /// recovery check (§2.2): a `SyncLoad` consumes the forwarded value even
     /// when the forwarded address does not match the load address —
@@ -186,6 +201,8 @@ impl SimConfig {
             hybrid_filter: false,
             trace_interval: 0,
             max_steps: 4_000_000_000,
+            max_cycles: 4_000_000_000,
+            inject: None,
             break_forwarded_recovery: false,
             break_exposed_read_marking: false,
         }

@@ -16,6 +16,7 @@
 
 use tls_ir::{ChanId, GroupId, RegionId, Sid};
 
+use crate::inject::FaultClass;
 use crate::stats::SlotBreakdown;
 
 /// What an epoch is blocked on while in a wait state.
@@ -374,6 +375,19 @@ pub enum TraceEvent {
         /// Commit cycle.
         time: u64,
     },
+    /// A seeded fault plan perturbed the hardware at this point (see
+    /// [`crate::inject`]). Purely observational: lets archived streams be
+    /// audited for which protocol points were attacked.
+    FaultInject {
+        /// The injected fault's class.
+        class: FaultClass,
+        /// Epoch index the fault applied to, when epoch-specific.
+        epoch: Option<u64>,
+        /// Word address involved, when address-specific.
+        addr: Option<i64>,
+        /// Injection cycle.
+        time: u64,
+    },
 }
 
 impl TraceEvent {
@@ -393,7 +407,8 @@ impl TraceEvent {
             | TraceEvent::SpecStore { time, .. }
             | TraceEvent::SpecLoad { time, .. }
             | TraceEvent::PredictedLoad { time, .. }
-            | TraceEvent::CommitWrite { time, .. } => time,
+            | TraceEvent::CommitWrite { time, .. }
+            | TraceEvent::FaultInject { time, .. } => time,
             TraceEvent::EpochCommit { end, .. }
             | TraceEvent::EpochSquash { end, .. }
             | TraceEvent::EpochCancel { end, .. } => end,

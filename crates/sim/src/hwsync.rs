@@ -126,6 +126,15 @@ impl ValuePredictor {
             .map(|(v, _)| *v)
     }
 
+    /// The stored value for `sid` regardless of confidence.
+    ///
+    /// Only the fault injector uses this: a forced misprediction needs a
+    /// plausible-but-unverified value, exactly what a below-threshold table
+    /// entry is. Normal prediction always goes through [`Self::predict`].
+    pub fn peek(&self, sid: Sid) -> Option<i64> {
+        self.table.get(&self.slot(sid)).map(|(v, _)| *v)
+    }
+
     /// Train with an observed value; confidence rises on repeats and
     /// resets on change. A first observation starts at confidence 0.
     pub fn train(&mut self, sid: Sid, value: i64) {

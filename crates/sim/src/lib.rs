@@ -32,6 +32,7 @@ mod cache;
 mod config;
 mod events;
 mod hwsync;
+pub mod inject;
 mod machine;
 mod model;
 mod spec;
@@ -43,6 +44,7 @@ pub use cache::{MemSystem, SetAssocCache};
 pub use config::{OracleSel, SimConfig, SyncLoadPolicy};
 pub use events::{NullTracer, SignalKind, TraceEvent, Tracer, ViolationKind, WaitKind};
 pub use hwsync::{ValuePredictor, ViolationTable};
+pub use inject::{FaultClass, FaultPlan, FaultSummary};
 pub use machine::{Machine, SimError};
 pub use model::{check_conformance, ConformanceStats, ModelConfig};
 pub use spec::{MemSignal, ReadSet, SyncState, WriteBuffer};

@@ -33,6 +33,7 @@ use crate::cache::MemSystem;
 use crate::config::{OracleSel, SimConfig, SyncLoadPolicy};
 use crate::events::{NullTracer, SignalKind, TraceEvent, Tracer, ViolationKind, WaitKind};
 use crate::hwsync::{ValuePredictor, ViolationTable};
+use crate::inject::{EagerFault, FaultClass, SignalFault, CORRUPT_ADDR_XOR};
 use crate::spec::{MemSignal, ReadSet, SyncState, WriteBuffer};
 use crate::stats::{RegionStats, SimResult, SlotBreakdown, ViolationClass};
 use crate::timing::{BranchPredictor, CoreTimer};
@@ -52,6 +53,17 @@ pub enum SimError {
         /// Simulated time at which progress stopped.
         time: u64,
     },
+    /// The simulated-cycle budget (`SimConfig::max_cycles`) was exceeded —
+    /// the typed outcome for a module whose loop never terminates.
+    CycleBudgetExceeded(u64),
+    /// A scripted fault plan ran out of decisions (see
+    /// [`crate::inject::FaultPlan::scripted`]).
+    FaultPlanExhausted {
+        /// Name of the fault class whose decision was needed.
+        class: &'static str,
+        /// Zero-based index of the first decision past the script.
+        decision: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -63,6 +75,13 @@ impl fmt::Display for SimError {
                 write!(f, "`{func}` returned out of an active speculative region")
             }
             SimError::Deadlock { time } => write!(f, "simulation deadlocked at cycle {time}"),
+            SimError::CycleBudgetExceeded(n) => {
+                write!(f, "exceeded cycle budget of {n} simulated cycles")
+            }
+            SimError::FaultPlanExhausted { class, decision } => write!(
+                f,
+                "fault plan exhausted: no scripted decision {decision} for class `{class}`"
+            ),
         }
     }
 }
@@ -324,6 +343,9 @@ impl<'m> Machine<'m> {
         if self.steps > self.config.max_steps {
             return Err(SimError::StepLimit(self.config.max_steps));
         }
+        if self.time > self.config.max_cycles {
+            return Err(SimError::CycleBudgetExceeded(self.config.max_cycles));
+        }
         Ok(())
     }
 
@@ -425,6 +447,9 @@ impl<'m> Machine<'m> {
         let region_cycles: u64 = self.result.regions.values().map(|r| r.cycles).sum();
         self.result.sequential_cycles = self.time.saturating_sub(region_cycles);
         self.result.memory = std::mem::take(&mut self.mem);
+        if let Some(plan) = &self.config.inject {
+            self.result.faults = plan.summary();
+        }
         Ok(self.result)
     }
 
@@ -730,6 +755,23 @@ impl<'m> Machine<'m> {
                     + self.config.commit_per_line * epochs[0].wb.dirty_lines() as u64;
                 let e = epochs.remove(0);
                 for (a, v) in e.wb.iter() {
+                    let mut v = v;
+                    if let Some(plan) = self.config.inject.as_mut() {
+                        // Contract-breaking: flip the value as it drains to
+                        // memory. Nothing downstream re-checks write-back
+                        // equality — only the protocol model can.
+                        if let Some(d) = plan.on_commit_write()? {
+                            v = v.wrapping_add(d);
+                            if T::ENABLED {
+                                tracer.event(TraceEvent::FaultInject {
+                                    class: FaultClass::CorruptCommitWrite,
+                                    epoch: Some(e.index),
+                                    addr: Some(a),
+                                    time: commit_done,
+                                });
+                            }
+                        }
+                    }
                     if T::ENABLED {
                         tracer.event(TraceEvent::CommitWrite {
                             rid,
@@ -942,6 +984,11 @@ impl<'m> Machine<'m> {
                 }
                 return Err(SimError::Deadlock { time: self.time });
             };
+            // `self.time` is frozen at region entry while epochs run on
+            // their own clocks, so the cycle budget must watch those.
+            if epochs[i].clock > self.config.max_cycles {
+                return Err(SimError::CycleBudgetExceeded(self.config.max_cycles));
+            }
             self.bump_steps()?;
             let req = self.step_epoch(
                 &mut epochs,
@@ -1270,9 +1317,23 @@ impl<'m> Machine<'m> {
                 let (v, r) = eval_in(&self.code.global_addrs,frame, *val);
                 let (issue, _) = e.timer.issue(r, self.config.lat_alu);
                 e.clock = issue;
-                e.sync
-                    .out_scalars
-                    .insert(*chan, (v, issue + self.config.forward_lat));
+                let mut ready_at = issue + self.config.forward_lat;
+                if let Some(plan) = self.config.inject.as_mut() {
+                    // Scalar sync is non-speculative (no recovery net), so
+                    // extra latency is the only survivable perturbation.
+                    if let Some(d) = plan.on_scalar_signal()? {
+                        ready_at += d;
+                        if T::ENABLED {
+                            tracer.event(TraceEvent::FaultInject {
+                                class: FaultClass::DelaySignal,
+                                epoch: Some(e.index),
+                                addr: None,
+                                time: issue,
+                            });
+                        }
+                    }
+                }
+                e.sync.out_scalars.insert(*chan, (v, ready_at));
                 frame.idx += 1;
                 if T::ENABLED {
                     tracer.event(TraceEvent::SignalSend {
@@ -1293,15 +1354,56 @@ impl<'m> Machine<'m> {
                 let a = a.wrapping_add(*off);
                 let (issue, _) = e.timer.issue(ra.max(rv), self.config.lat_alu);
                 e.clock = issue;
-                e.sync.out_mems.insert(
-                    *group,
-                    MemSignal {
-                        addr: Some(a),
-                        value: v,
-                        ready_at: issue + self.config.forward_lat,
-                    },
-                );
+                let ready_at = issue + self.config.forward_lat;
+                let mut wire = MemSignal {
+                    addr: Some(a),
+                    value: v,
+                    ready_at,
+                };
+                let mut duplicate = false;
+                if let Some(plan) = self.config.inject.as_mut() {
+                    if let Some(fault) = plan.on_mem_signal()? {
+                        let class = match fault {
+                            SignalFault::Corrupt { value_delta } => {
+                                // Address and value garbled together: the
+                                // consumer's §2.2 re-check is guaranteed to
+                                // see the mismatch and fall back.
+                                wire.addr = Some(a ^ CORRUPT_ADDR_XOR);
+                                wire.value = v.wrapping_add(value_delta);
+                                FaultClass::CorruptSignal
+                            }
+                            SignalFault::Drop => {
+                                wire = MemSignal::null(ready_at);
+                                FaultClass::DropSignal
+                            }
+                            SignalFault::Delay(d) => {
+                                wire.ready_at = ready_at + d;
+                                FaultClass::DelaySignal
+                            }
+                            SignalFault::Duplicate(d) => {
+                                wire.ready_at = ready_at + d;
+                                duplicate = true;
+                                FaultClass::DuplicateSignal
+                            }
+                        };
+                        if T::ENABLED {
+                            tracer.event(TraceEvent::FaultInject {
+                                class,
+                                epoch: Some(e.index),
+                                addr: Some(a),
+                                time: issue,
+                            });
+                        }
+                    }
+                }
+                e.sync.out_mems.insert(*group, wire);
+                // The producer believes it forwarded the real address: the
+                // signal-address buffer keeps tracking `a` so later stores
+                // still re-signal (faults live on the wire, not here).
                 e.sync.push_sig_buf(*group, a);
+                if duplicate {
+                    e.sync.push_sig_buf(*group, a);
+                }
                 frame.idx += 1;
                 if T::ENABLED {
                     tracer.event(TraceEvent::SignalSend {
@@ -1310,8 +1412,8 @@ impl<'m> Machine<'m> {
                         epoch: e.index,
                         core: e.core,
                         kind: SignalKind::Mem(*group),
-                        addr: Some(a),
-                        value: v,
+                        addr: wire.addr,
+                        value: wire.value,
                         time: issue,
                     });
                 }
@@ -1444,6 +1546,45 @@ impl<'m> Machine<'m> {
                     }
                 }
                 if let Some((v0, lsid, kind)) = victim {
+                    if kind == ViolationKind::Eager {
+                        if let Some(plan) = self.config.inject.as_mut() {
+                            if let Some(fault) = plan.on_eager_violation()? {
+                                let class = match fault {
+                                    EagerFault::Defer => FaultClass::DeferEager,
+                                    EagerFault::Suppress => FaultClass::SuppressViolation,
+                                };
+                                if T::ENABLED {
+                                    tracer.event(TraceEvent::FaultInject {
+                                        class,
+                                        epoch: Some(v0),
+                                        addr: Some(a),
+                                        time: issue,
+                                    });
+                                }
+                                match (fault, lsid) {
+                                    // Maskable deferral: the commit-time
+                                    // pending check squashes the consumer
+                                    // when this epoch commits, later.
+                                    (EagerFault::Defer, Some(lsid)) => {
+                                        pendings.push(Pending {
+                                            producer: e.index,
+                                            consumer: v0,
+                                            sid: lsid,
+                                            store_sid: Some(*sid),
+                                            addr: a,
+                                        });
+                                        return Ok(None);
+                                    }
+                                    // No load sid to hang a pending on:
+                                    // deferral degenerates to the normal
+                                    // eager squash (still maskable).
+                                    (EagerFault::Defer, None) => {}
+                                    // Contract-breaking: swallow it.
+                                    (EagerFault::Suppress, _) => return Ok(None),
+                                }
+                            }
+                        }
+                    }
                     // The squash request names the load of the edge (`lsid`,
                     // for resignal victims the store's sid stands in since
                     // the consumed forward has no plain-load sid) and this
@@ -1517,7 +1658,29 @@ impl<'m> Machine<'m> {
                     && !e.wb.wrote_word(a)
                     && self.viol_table.contains(*sid, e.clock)
                 {
-                    if let Some(pred) = self.predictor.predict(*sid) {
+                    let mut pred_opt = self.predictor.predict(*sid);
+                    if let Some(plan) = self.config.inject.as_mut() {
+                        if plan.wants(FaultClass::CorruptPrediction) {
+                            // Perturb the prediction (forcing one from a
+                            // below-threshold table entry if none was
+                            // confident). Maskable: commit-time verification
+                            // re-reads memory and squashes on mismatch.
+                            if let Some(base) = pred_opt.or_else(|| self.predictor.peek(*sid)) {
+                                if let Some(d) = plan.on_prediction()? {
+                                    pred_opt = Some(base.wrapping_add(d));
+                                    if T::ENABLED {
+                                        tracer.event(TraceEvent::FaultInject {
+                                            class: FaultClass::CorruptPrediction,
+                                            epoch: Some(e.index),
+                                            addr: Some(a),
+                                            time: e.clock,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if let Some(pred) = pred_opt {
                         let (issue, complete) = e.timer.issue(r, self.config.lat_alu);
                         e.clock = issue;
                         frame.regs[dst.index()] = pred;
@@ -1541,7 +1704,7 @@ impl<'m> Machine<'m> {
                 }
                 let dst = *dst;
                 let sid = *sid;
-                self.epoch_plain_load(e, older, a, sid, pendings, r, dst, false, rid, ord, tracer);
+                self.epoch_plain_load(e, older, a, sid, pendings, r, dst, false, rid, ord, tracer)?;
                 e.frames.last_mut().expect("nonempty").idx += 1;
             }
             Instr::SyncLoad { dst, addr, off, group, sid } => {
@@ -1566,7 +1729,7 @@ impl<'m> Machine<'m> {
                             frame.ready[dst.index()] = complete;
                         } else {
                             e.occ[sid.index()] -= 1;
-                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer);
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer)?;
                         }
                         e.frames.last_mut().expect("nonempty").idx += 1;
                     }
@@ -1584,7 +1747,7 @@ impl<'m> Machine<'m> {
                                 });
                             }
                         } else {
-                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer);
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer)?;
                             e.frames.last_mut().expect("nonempty").idx += 1;
                         }
                     }
@@ -1623,7 +1786,7 @@ impl<'m> Machine<'m> {
                             return Ok(None);
                         }
                         if filtered_out {
-                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer);
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer)?;
                             e.frames.last_mut().expect("nonempty").idx += 1;
                             return Ok(None);
                         }
@@ -1682,8 +1845,26 @@ impl<'m> Machine<'m> {
                                         e.timer.issue(r.max(sig.ready_at), self.config.lat_alu);
                                     e.clock = issue;
                                     e.consumed[group.index()] = true;
+                                    let mut used = sig.value;
+                                    if let Some(plan) = self.config.inject.as_mut() {
+                                        // Contract-breaking: corrupt the value
+                                        // at the consume site, address intact.
+                                        // §2.2 only re-checks addresses, so no
+                                        // machinery below can catch this.
+                                        if let Some(d) = plan.on_signal_recv()? {
+                                            used = used.wrapping_add(d);
+                                            if T::ENABLED {
+                                                tracer.event(TraceEvent::FaultInject {
+                                                    class: FaultClass::CorruptSignalValue,
+                                                    epoch: Some(e.index),
+                                                    addr: Some(a),
+                                                    time: issue,
+                                                });
+                                            }
+                                        }
+                                    }
                                     let frame = e.frames.last_mut().expect("nonempty");
-                                    frame.regs[dst.index()] = sig.value;
+                                    frame.regs[dst.index()] = used;
                                     frame.ready[dst.index()] = complete;
                                     if T::ENABLED {
                                         tracer.event(TraceEvent::SignalRecv {
@@ -1693,7 +1874,7 @@ impl<'m> Machine<'m> {
                                             core: e.core,
                                             kind: SignalKind::Mem(group),
                                             addr: sig.addr,
-                                            value: sig.value,
+                                            value: used,
                                             time: issue,
                                         });
                                     }
@@ -1711,7 +1892,7 @@ impl<'m> Machine<'m> {
                                         rid,
                                         ord,
                                         tracer,
-                                    );
+                                    )?;
                                 }
                                 e.frames.last_mut().expect("nonempty").idx += 1;
                             }
@@ -1740,7 +1921,7 @@ impl<'m> Machine<'m> {
         rid: RegionId,
         ord: u64,
         tracer: &mut T,
-    ) -> i64 {
+    ) -> Result<i64, SimError> {
         let frame = e.frames.last_mut().expect("nonempty");
         if let Some(v) = e.wb.load(a) {
             let (issue, complete) = e.timer.issue(ready, self.config.l1_lat);
@@ -1760,7 +1941,7 @@ impl<'m> Machine<'m> {
                     time: issue,
                 });
             }
-            return v;
+            return Ok(v);
         }
         let v = self.mem.read(a);
         // Timing-identical to `access`; the eviction report only feeds the
@@ -1785,6 +1966,23 @@ impl<'m> Machine<'m> {
         e.clock = issue;
         frame.regs[dst.index()] = v;
         frame.ready[dst.index()] = complete;
+        let mut spurious_evict = false;
+        if let Some(plan) = self.config.inject.as_mut() {
+            spurious_evict = plan.on_spec_load()?;
+        }
+        if spurious_evict {
+            // Maskable: knock the just-accessed line out of the local L1
+            // (and L2) so the next touch misses. Timing only.
+            self.caches.invalidate_local(e.core, a);
+            if T::ENABLED {
+                tracer.event(TraceEvent::FaultInject {
+                    class: FaultClass::EvictLine,
+                    epoch: Some(e.index),
+                    addr: Some(a),
+                    time: issue,
+                });
+            }
+        }
         if T::ENABLED {
             // Emitted even under the fault injection below: the model sees
             // the exposed read the simulator then fails to track.
@@ -1825,7 +2023,7 @@ impl<'m> Machine<'m> {
         if self.config.hw_predict {
             self.predictor.train(sid, v);
         }
-        v
+        Ok(v)
     }
 
     /// Apply an intra-epoch control transfer; reaching the region header or
@@ -2225,6 +2423,127 @@ mod tests {
         assert_eq!(total, expected, "slots must partition cores×width×cycles");
         assert!(stats.slots.busy > 0);
     }
+
+    use crate::inject::FaultPlan;
+
+    #[test]
+    fn cycle_budget_catches_nonterminating_sequential_loop() {
+        // A block of real work that jumps back to itself: time advances,
+        // the program never ends. The budget must turn that into a typed
+        // error instead of a spin.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare("main", 0);
+        let mut fb = mb.define(f);
+        let v = fb.var("v");
+        let spin = fb.block("spin");
+        fb.jump(spin);
+        fb.switch_to(spin);
+        fb.bin(v, op_add(), v, 1);
+        fb.jump(spin);
+        fb.finish();
+        mb.set_entry(f);
+        let m = mb.build().expect("valid");
+        let mut cfg = SimConfig::sequential();
+        cfg.max_cycles = 10_000;
+        match Machine::new(&m, cfg).run() {
+            Err(SimError::CycleBudgetExceeded(10_000)) => {}
+            other => panic!("expected cycle-budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_budget_catches_nonterminating_epoch() {
+        // The same spin inside a speculative region: `self.time` is frozen
+        // at region entry, so the budget must watch the epoch clocks.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare("main", 0);
+        let mut fb = mb.define(f);
+        let (ep, v) = (fb.var("ep"), fb.var("v"));
+        let head = fb.block("head");
+        let body = fb.block("body");
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.epoch_id(ep);
+        fb.jump(body);
+        fb.switch_to(body);
+        fb.bin(v, op_add(), v, 1);
+        fb.jump(body);
+        fb.finish();
+        mb.set_entry(f);
+        mark_region(&mut mb, f, BlockId(1), vec![BlockId(1), BlockId(2)]);
+        let m = mb.build().expect("valid");
+        let mut cfg = SimConfig::cgo2004();
+        cfg.max_cycles = 10_000;
+        match Machine::new(&m, cfg).run() {
+            Err(SimError::CycleBudgetExceeded(10_000)) => {}
+            other => panic!("expected cycle-budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn maskable_signal_faults_leave_output_intact() {
+        use crate::inject::FaultClass;
+        let (m, _) = mem_dep_module(40, true);
+        for class in FaultClass::MASKABLE {
+            let mut cfg = SimConfig::cgo2004();
+            cfg.inject = Some(FaultPlan::seeded(9, &[class], 1.0, 16));
+            let r = Machine::new(&m, cfg)
+                .run()
+                .unwrap_or_else(|e| panic!("{}: {e}", class.name()));
+            assert_eq!(r.output, vec![40], "{} broke the output", class.name());
+        }
+    }
+
+    #[test]
+    fn corrupted_signals_fire_the_recovery_path() {
+        use crate::inject::FaultClass;
+        // Clean compiler sync has zero violations on this module; garbled
+        // forwards must fall back and squash at least once — proof the
+        // §2.2 recovery net actually fired, not that the fault was a no-op.
+        let (m, _) = mem_dep_module(40, true);
+        let clean = Machine::new(&m, SimConfig::cgo2004()).run().expect("simulates");
+        assert_eq!(clean.total_violations, 0);
+        let mut cfg = SimConfig::cgo2004();
+        cfg.inject = Some(FaultPlan::seeded(3, &[FaultClass::CorruptSignal], 1.0, 8));
+        let r = Machine::new(&m, cfg).run().expect("simulates");
+        assert_eq!(r.output, vec![40]);
+        assert!(r.faults.count(FaultClass::CorruptSignal) > 0, "fault never fired");
+        assert!(
+            r.total_violations > 0,
+            "corrupted forwards produced no squash: recovery path untested"
+        );
+        assert!(r.total_cycles >= clean.total_cycles, "faults cannot speed a run up");
+    }
+
+    #[test]
+    fn corrupt_commit_write_breaks_architectural_state() {
+        use crate::inject::FaultClass;
+        // The one place with no net below the protocol model: flipping a
+        // draining commit write must corrupt the final output. Every epoch
+        // rewrites `acc`, so corrupt all commits — the last one is what the
+        // final architectural load observes.
+        let (m, _) = mem_dep_module(40, true);
+        let mut cfg = SimConfig::cgo2004();
+        cfg.inject = Some(FaultPlan::seeded(5, &[FaultClass::CorruptCommitWrite], 1.0, u64::MAX));
+        let r = Machine::new(&m, cfg).run().expect("simulates");
+        assert!(r.faults.count(FaultClass::CorruptCommitWrite) > 0);
+        assert_ne!(r.output, vec![40], "corrupted commit write was silently masked");
+    }
+
+    #[test]
+    fn scripted_exhaustion_is_a_typed_error() {
+        use crate::inject::FaultClass;
+        let (m, _) = mem_dep_module(40, true);
+        let mut cfg = SimConfig::cgo2004();
+        cfg.inject = Some(FaultPlan::scripted(FaultClass::DropSignal, vec![true]));
+        match Machine::new(&m, cfg).run() {
+            Err(SimError::FaultPlanExhausted { class, decision }) => {
+                assert_eq!(class, "drop-signal");
+                assert!(decision >= 1);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -2480,4 +2799,5 @@ mod protocol_tests {
         let r = Machine::new(&m, SimConfig::cgo2004()).run().expect("simulates");
         assert_eq!(r.output, (0..12).collect::<Vec<i64>>());
     }
+
 }

@@ -312,7 +312,11 @@ impl Model {
             TraceEvent::WaitEnd { rid, ord, epoch, kind, .. } => {
                 self.wait_end(rid, ord, epoch, kind)?;
             }
-            TraceEvent::LineEvict { .. } | TraceEvent::SlotSample { .. } => {}
+            // Fault-injection markers are observational: the model judges
+            // the protocol events themselves, not the perturbation notes.
+            TraceEvent::LineEvict { .. }
+            | TraceEvent::SlotSample { .. }
+            | TraceEvent::FaultInject { .. } => {}
         }
         Ok(())
     }

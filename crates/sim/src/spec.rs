@@ -122,6 +122,18 @@ pub struct MemSignal {
     pub ready_at: u64,
 }
 
+impl MemSignal {
+    /// The NULL signal, visible at `ready_at` — what a consumer sees when
+    /// the producer had no value on this path (or a fault dropped it).
+    pub fn null(ready_at: u64) -> MemSignal {
+        MemSignal {
+            addr: None,
+            value: 0,
+            ready_at,
+        }
+    }
+}
+
 /// The signals one epoch has *sent* to its successor, plus the
 /// producer-side signal address buffer of §2.2.
 ///

@@ -12,6 +12,8 @@ use std::collections::BTreeMap;
 use tls_ir::{RegionId, Sid};
 use tls_profile::Memory;
 
+use crate::inject::FaultSummary;
+
 /// Potential graduation slots divided into the paper's four segments.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SlotBreakdown {
@@ -112,6 +114,9 @@ pub struct SimResult {
     /// second half of the architectural correctness invariant (the first
     /// being `output`).
     pub memory: Memory,
+    /// Per-class fault-injection counters (all zero unless the run was
+    /// perturbed via `SimConfig::inject`).
+    pub faults: FaultSummary,
 }
 
 impl SimResult {

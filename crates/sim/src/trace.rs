@@ -25,6 +25,7 @@ use std::fmt::Write as _;
 use tls_ir::RegionId;
 
 use crate::events::{SignalKind, TraceEvent, Tracer, WaitKind};
+use crate::inject::FaultClass;
 use crate::stats::SlotBreakdown;
 
 /// Captures every event in order.
@@ -396,7 +397,9 @@ pub fn check_event_stream(events: &[TraceEvent]) -> Result<EventStreamStats, Str
                     let inst = get(&mut open, rid, ord, "commit-write")?;
                     live(inst, epoch, "commit-write")?;
                 }
-                TraceEvent::LineEvict { .. } | TraceEvent::SlotSample { .. } => {}
+                TraceEvent::LineEvict { .. }
+                | TraceEvent::SlotSample { .. }
+                | TraceEvent::FaultInject { .. } => {}
             }
             Ok(())
         })();
@@ -1124,6 +1127,15 @@ pub fn events_to_json(events: &[TraceEvent]) -> String {
                 i64_field(&mut b, "addr", addr);
                 i64_field(&mut b, "value", value);
             }
+            TraceEvent::FaultInject { class, epoch, addr, time } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"fault_inject\",\"class\":\"{}\",\"time\":{time}",
+                    class.name()
+                );
+                opt_u64_field(&mut b, "epoch", epoch);
+                opt_i64_field(&mut b, "addr", addr);
+            }
         }
         b.push('}');
         out.push_str(&b);
@@ -1366,6 +1378,16 @@ pub fn events_from_json(s: &str) -> Result<Vec<TraceEvent>, String> {
                     epoch: o.u64("epoch")?,
                     addr: o.i64("addr")?,
                     value: o.i64("value")?,
+                    time: o.u64("time")?,
+                },
+                "fault_inject" => TraceEvent::FaultInject {
+                    class: {
+                        let name = o.str("class")?;
+                        FaultClass::from_name(name)
+                            .ok_or_else(|| format!("unknown fault class `{name}`"))?
+                    },
+                    epoch: o.opt_u64("epoch")?,
+                    addr: o.opt_i64("addr")?,
                     time: o.u64("time")?,
                 },
                 other => return Err(format!("unknown event kind `{other}`")),
