@@ -1,26 +1,32 @@
 //! Command-line driver for the reproduction.
 //!
 //! ```text
-//! repro <target> [--quick] [--workloads a,b,c] [--jobs N] [--out path]
-//! repro trace <bench> [--mode M] [--quick] [--interval N]
+//! repro <target> [--quick] [--scale S] [--workloads a,b,c] [--jobs N] [--out path]
+//! repro run <bench> [--mode M|all] [--quick] [--scale S] [--out path]
+//! repro trace <bench> [--mode M] [--quick] [--scale S] [--interval N]
 //!             [--perfetto path] [--attrib path] [--width N]
 //! repro trace-check <perfetto.json>
-//! repro fuzz [--seed S] [--iters N] [--jobs N] [--break-forwarding]
+//! repro fuzz [--seed S] [--iters N] [--jobs N] [--family F] [--break-forwarding]
 //!            [--replay path] [--artifacts dir] [--resume] [--panic-seed S]
-//! repro conform <bench> [--mode M] [--quick]
+//! repro conform <bench> [--mode M] [--quick] [--scale S]
 //! repro conform --fuzz [--seed S] [--seeds N] [--jobs N]
 //! repro inject <bench> [--mode M] [--faults F] [--seed S] [--campaign K]
-//!              [--rate R] [--budget B] [--quick] [--jobs N] [--out path]
-//!              [--panic-plan K]
+//!              [--rate R] [--budget B] [--quick] [--scale S] [--jobs N]
+//!              [--out path] [--panic-plan K]
 //!
-//! targets: fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 report all
-//!          bench list trace trace-check fuzz conform inject
+//! targets: fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 sweep report
+//!          all bench list run trace trace-check fuzz conform inject
 //! global flags: --verbose --quiet
 //! exit codes: 0 success, 2 usage, 3 simulation/internal error,
 //!             4 correctness-check failure
 //! ```
 //!
 //! `--quick` measures the train inputs (fast); the default measures ref.
+//! `--scale S` picks the workload scale: `quick`, `ref`, a multiplier pair
+//! `NxM` (N× iterations, M× memory footprint on the ref inputs; `N` alone
+//! means `Nx1`), or `quick:NxM` to scale the train inputs instead.
+//! Scaling multiplies loop trip counts and data-structure sizes but leaves
+//! the instruction stream untouched, so profiles transfer across scales.
 //! `--jobs N` caps the worker threads of the parallel fan-out (default: one
 //! per CPU; `--jobs 1` forces the serial pipeline). `--out path` writes the
 //! results as JSON in addition to the text tables on stdout: an array of
@@ -54,9 +60,19 @@
 //! checks every speculative mode of each — failing seeds are collected
 //! while the rest of the campaign completes.
 //!
+//! `run` executes one workload across the mode matrix (or one mode with
+//! `--mode`) and prints per-mode cycles, speedup over the sequential
+//! baseline, violations, committed epochs and the constant-memory
+//! streaming epoch-latency summary (mean / p50 / p99 / max) — the target
+//! behind the scaling studies: `repro run go --scale 100x` completes with
+//! O(1) per-epoch memory.
+//!
 //! `fuzz` runs the differential fuzzer: `--iters N` seeds starting at
 //! `--seed S`, each generated program checked across the full mode matrix
-//! against the sequential interpreter. Failures are shrunk and written
+//! against the sequential interpreter. `--family F` draws programs from an
+//! adversarial scenario family instead of the baseline generator
+//! (`phase_shift`, `false_sharing`, `deep_clone`, `mixed_nests`; see
+//! `tls_ir::GenFamily`). Failures are shrunk and written
 //! under `--artifacts dir` (default `results/fuzz`). Progress is
 //! checkpointed to `journal.txt` in the artifact directory; `--resume`
 //! continues a killed campaign from that checkpoint. `--break-forwarding`
@@ -84,8 +100,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use tls_experiments::{
-    attrib, bench, conform, figures, fuzz, inject, par, Harness, Mode, Scale, Table,
+    attrib, bench, conform, figures, fuzz, inject, par, Harness, Mode, Scale, Table, MODES,
 };
+use tls_ir::{GenConfig, GenFamily};
 use tls_sim::{
     ascii_timeline, check_event_stream, perfetto_json, validate_perfetto, RecordingTracer,
 };
@@ -129,21 +146,32 @@ impl CliError {
 
 fn usage() -> CliError {
     eprintln!(
-        "usage: repro <fig2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|report|all|bench|list> \
-         [--quick] [--workloads a,b,c] [--jobs N] [--out path]\n\
-         \x20      repro trace <bench> [--mode M] [--quick] [--interval N] \
+        "usage: repro <fig2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|sweep|report|all|bench|list> \
+         [--quick] [--scale S] [--workloads a,b,c] [--jobs N] [--out path]\n\
+         \x20      repro run <bench> [--mode M|all] [--quick] [--scale S] [--out path]\n\
+         \x20      repro trace <bench> [--mode M] [--quick] [--scale S] [--interval N] \
          [--perfetto path] [--attrib path] [--width N]\n\
          \x20      repro trace-check <perfetto.json>\n\
-         \x20      repro fuzz [--seed S] [--iters N] [--jobs N] [--break-forwarding] \
+         \x20      repro fuzz [--seed S] [--iters N] [--jobs N] [--family F] [--break-forwarding] \
          [--replay path] [--artifacts dir] [--resume] [--panic-seed S]\n\
-         \x20      repro conform <bench> [--mode M] [--quick]\n\
+         \x20      repro conform <bench> [--mode M] [--quick] [--scale S]\n\
          \x20      repro conform --fuzz [--seed S] [--seeds N] [--jobs N]\n\
          \x20      repro inject <bench> [--mode M] [--faults F] [--seed S] [--campaign K] \
-         [--rate R] [--budget B] [--quick] [--jobs N] [--out path] [--panic-plan K]\n\
+         [--rate R] [--budget B] [--quick] [--scale S] [--jobs N] [--out path] [--panic-plan K]\n\
+         \x20      --scale: quick | ref | NxM (N x iterations, M x footprint) | quick:NxM\n\
+         \x20      --family: baseline | phase_shift | false_sharing | deep_clone | mixed_nests\n\
          \x20      global flags: --verbose --quiet\n\
          \x20      exit codes: 0 ok, 2 usage, 3 sim/internal error, 4 check failure"
     );
     CliError::Usage
+}
+
+/// Parse a `--scale` operand, printing a diagnostic on failure.
+fn parse_scale(s: &str) -> Result<Scale, CliError> {
+    Scale::parse(s).ok_or_else(|| {
+        eprintln!("bad --scale `{s}`: expected quick, ref, N, NxM or quick:NxM");
+        CliError::Usage
+    })
 }
 
 /// Peak resident-set size of this process in kB (`VmHWM` from
@@ -174,6 +202,121 @@ fn report_resources(verbosity: Verbosity, label: &str, start: Instant) {
     }
 }
 
+/// `repro run <bench>`: one workload across the mode matrix, with the
+/// streaming epoch-latency summary per mode.
+fn run_run_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
+    let start = Instant::now();
+    let mut bench_name: Option<String> = None;
+    let mut mode_label = String::from("all");
+    let mut scale = Scale::Full;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => match it.next() {
+                Some(m) => mode_label = m.clone(),
+                None => return Err(usage()),
+            },
+            "--quick" => scale = Scale::Quick,
+            "--scale" => match it.next() {
+                Some(s) => scale = parse_scale(s)?,
+                None => return Err(usage()),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return Err(usage()),
+            },
+            name if bench_name.is_none() && !name.starts_with('-') => {
+                bench_name = Some(name.to_string());
+            }
+            _ => return Err(usage()),
+        }
+    }
+    let Some(bench_name) = bench_name else {
+        return Err(usage());
+    };
+    let workload = tls_workloads::by_name(&bench_name)
+        .ok_or_else(|| CliError::Sim(format!("unknown workload `{bench_name}`")))?;
+    let modes: Vec<Mode> = if mode_label == "all" {
+        MODES.to_vec()
+    } else {
+        vec![Mode::from_label(&mode_label)
+            .ok_or_else(|| CliError::Sim(format!("unknown mode `{mode_label}`")))?]
+    };
+    if verbosity > Verbosity::Quiet {
+        eprintln!(
+            "running {bench_name} at scale {} across {} mode(s)...",
+            scale.label(),
+            modes.len()
+        );
+    }
+    let harness = Harness::new(workload, scale)
+        .map_err(|e| CliError::Sim(format!("failed to prepare {bench_name}: {e}")))?;
+    let seq_cycles = harness.seq.total_cycles;
+    println!("{bench_name} @ {} (sequential baseline: {seq_cycles} cycles)", scale.label());
+    println!(
+        "{:<6} {:>12} {:>8} {:>10} {:>9}  epoch cycles (mean/p50/p99/max)",
+        "mode", "cycles", "speedup", "violations", "epochs"
+    );
+    let mut rows: Vec<String> = Vec::new();
+    for mode in modes {
+        let r = harness
+            .run(mode)
+            .map_err(|e| CliError::Sim(format!("{bench_name}/{}: {e}", mode.label())))?;
+        let epochs: u64 = r.regions.values().map(|s| s.epochs).sum();
+        let ec = r.epoch_cycle_totals();
+        let speedup = seq_cycles as f64 / r.total_cycles as f64;
+        let summary = if ec.is_empty() {
+            String::from("-")
+        } else {
+            format!(
+                "{:.1}/{}/{}/{}",
+                ec.mean(),
+                ec.quantile(0.5),
+                ec.quantile(0.99),
+                ec.max
+            )
+        };
+        println!(
+            "{:<6} {:>12} {:>8.3} {:>10} {:>9}  {summary}",
+            mode.label(),
+            r.total_cycles,
+            speedup,
+            r.total_violations,
+            epochs
+        );
+        rows.push(format!(
+            "{{\"mode\":\"{}\",\"cycles\":{},\"speedup\":{:.6},\"violations\":{},\
+             \"epochs\":{},\"epoch_cycle_count\":{},\"epoch_cycle_mean\":{:.3},\
+             \"epoch_cycle_p50\":{},\"epoch_cycle_p99\":{},\"epoch_cycle_max\":{}}}",
+            mode.label(),
+            r.total_cycles,
+            speedup,
+            r.total_violations,
+            epochs,
+            ec.count,
+            ec.mean(),
+            ec.quantile(0.5),
+            ec.quantile(0.99),
+            if ec.is_empty() { 0 } else { ec.max }
+        ));
+    }
+    if let Some(path) = out {
+        write_out(
+            &path,
+            &format!(
+                "{{\"bench\":\"{bench_name}\",\"scale\":\"{}\",\"seq_cycles\":{seq_cycles},\
+                 \"peak_rss_kb\":{},\"modes\":[{}]}}",
+                scale.label(),
+                peak_rss_kb().unwrap_or(0),
+                rows.join(",")
+            ),
+        )?;
+    }
+    report_resources(verbosity, "run", start);
+    Ok(())
+}
+
 /// `repro trace <bench>`: one traced run, timeline + attribution exports.
 fn run_trace_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
     let start = Instant::now();
@@ -192,6 +335,10 @@ fn run_trace_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> 
                 None => return Err(usage()),
             },
             "--quick" => scale = Scale::Quick,
+            "--scale" => match it.next() {
+                Some(s) => scale = parse_scale(s)?,
+                None => return Err(usage()),
+            },
             "--interval" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => interval = n,
                 None => return Err(usage()),
@@ -331,6 +478,23 @@ fn run_fuzz_cmd(args: &[String]) -> Result<(), CliError> {
                 None => return Err(usage()),
             },
             "--break-forwarding" => cfg.break_forwarded_recovery = true,
+            "--family" => match it.next() {
+                Some(f) => match GenFamily::parse(f) {
+                    Some(fam) => cfg.gen = GenConfig::for_family(fam),
+                    None => {
+                        eprintln!(
+                            "unknown --family `{f}`: expected one of {}",
+                            GenFamily::ALL
+                                .iter()
+                                .map(|g| g.label())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        return Err(CliError::Usage);
+                    }
+                },
+                None => return Err(usage()),
+            },
             "--resume" => resume = true,
             "--panic-seed" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => cfg.panic_on_seed = Some(n),
@@ -435,6 +599,10 @@ fn run_conform_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError
                 None => return Err(usage()),
             },
             "--quick" => scale = Scale::Quick,
+            "--scale" => match it.next() {
+                Some(s) => scale = parse_scale(s)?,
+                None => return Err(usage()),
+            },
             "--seed" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => seed = n,
                 None => return Err(usage()),
@@ -566,6 +734,10 @@ fn run_inject_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError>
                 None => return Err(usage()),
             },
             "--quick" => scale = Scale::Quick,
+            "--scale" => match it.next() {
+                Some(s) => scale = parse_scale(s)?,
+                None => return Err(usage()),
+            },
             "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => jobs = n,
                 None => return Err(usage()),
@@ -646,6 +818,12 @@ fn run_figures(
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
+            "--scale" => {
+                let Some(s) = it.next() else {
+                    return Err(usage());
+                };
+                scale = parse_scale(s)?;
+            }
             "--workloads" => {
                 let Some(list) = it.next() else {
                     return Err(usage());
@@ -798,6 +976,7 @@ fn real_main() -> Result<(), CliError> {
             }
             Ok(())
         }
+        "run" => run_run_cmd(&args[1..], verbosity),
         "fuzz" => run_fuzz_cmd(&args[1..]),
         "conform" => run_conform_cmd(&args[1..], verbosity),
         "inject" => run_inject_cmd(&args[1..], verbosity),

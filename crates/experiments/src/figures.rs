@@ -128,6 +128,7 @@ pub fn modes_used() -> Vec<Mode> {
     out.extend_from_slice(&FIG11_MODES);
     out.extend_from_slice(&FIG12_MODES);
     out.extend_from_slice(&TABLE2_MODES);
+    out.extend_from_slice(&SWEEP_MODES);
     out.extend_from_slice(&REPORT_MODES);
     out
 }
@@ -341,10 +342,86 @@ pub fn compiler_report(harnesses: &[Harness]) -> Result<Table, ExperimentError> 
     Ok(t)
 }
 
+/// Benches, iteration multipliers and modes of the scaling sweep. Small on
+/// purpose: the sweep is a golden-pinned smoke of the scale machinery, not
+/// a benchmark campaign (that is `repro run --scale`).
+const SWEEP_BENCHES: [&str; 3] = ["go", "parser", "mcf"];
+const SWEEP_ITERS: [u32; 3] = [1, 2, 4];
+const SWEEP_MODES: [Mode; 3] = [Mode::Unsync, Mode::CompilerRef, Mode::HwSync];
+
+/// Scaling sweep: three benches at 1×/2×/4× iterations under U/C/H, with
+/// normalized region time, violations per thousand epochs, and the
+/// streaming epoch-latency sketch (p50/p99).
+///
+/// Always runs on the *quick* (train) inputs regardless of the CLI scale —
+/// the prepared harnesses are ignored — so the rendered table is identical
+/// under any `repro sweep` invocation and can be pinned as a golden
+/// snapshot. The interesting property it pins: the violation *rate*
+/// (violations per epoch) stays flat as iterations scale, while absolute
+/// counts grow.
+pub fn sweep(_harnesses: &[Harness]) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        "Scaling sweep: quick inputs at 1x/2x/4x iterations (U / C / H)",
+        &["bench", "scale", "mode", "time", "viol/kep", "ep-p50", "ep-p99"],
+    );
+    let combos: Vec<(&str, u32)> = SWEEP_BENCHES
+        .iter()
+        .flat_map(|&b| SWEEP_ITERS.iter().map(move |&m| (b, m)))
+        .collect();
+    let rows = par::par_map(combos, |_, (bench, mult)| {
+        let w = tls_workloads::by_name(bench).expect("sweep bench exists");
+        let ws = tls_workloads::Scale::new(mult, 1).expect("sweep multipliers are nonzero");
+        let scale = if ws.is_base() {
+            crate::harness::Scale::Quick
+        } else {
+            crate::harness::Scale::ScaledQuick(ws)
+        };
+        let h = Harness::new(w, scale)?;
+        let mut out: Vec<Vec<String>> = Vec::new();
+        for (k, &mode) in SWEEP_MODES.iter().enumerate() {
+            let r = h.run(mode)?;
+            let b = h.bar(mode, &r);
+            let epochs: u64 = r.regions.values().map(|s| s.epochs).sum();
+            let ec = r.epoch_cycle_totals();
+            out.push(vec![
+                if k == 0 { format!("{mult}x1") } else { String::new() },
+                mode.label(),
+                f2(b.norm_time),
+                if epochs == 0 {
+                    "-".into()
+                } else {
+                    f2(r.total_violations as f64 * 1000.0 / epochs as f64)
+                },
+                ec.quantile(0.5).to_string(),
+                ec.quantile(0.99).to_string(),
+            ]);
+        }
+        Ok(out)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, ExperimentError>>()?;
+    for ((bench, _), chunk) in SWEEP_BENCHES
+        .iter()
+        .flat_map(|&b| SWEEP_ITERS.iter().map(move |&m| (b, m)))
+        .zip(&rows)
+    {
+        for (k, body) in chunk.iter().enumerate() {
+            let mut cells = vec![if k == 0 && body[0] == "1x1" {
+                bench.to_string()
+            } else {
+                String::new()
+            }];
+            cells.extend(body.iter().cloned());
+            t.row(cells);
+        }
+    }
+    Ok(t)
+}
+
 /// Every figure/table target, in presentation order — the `repro` driver's
 /// CLI names and the golden-snapshot corpus both index this list.
-pub const TARGETS: [&str; 10] = [
-    "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table2", "report",
+pub const TARGETS: [&str; 11] = [
+    "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table2", "sweep", "report",
 ];
 
 /// Render the target with the given CLI name, or `None` if unknown.
@@ -365,6 +442,7 @@ pub fn by_name(
         "fig11" => fig11(harnesses),
         "fig12" => fig12(harnesses),
         "table2" => table2(harnesses),
+        "sweep" => sweep(harnesses),
         "report" => compiler_report(harnesses),
         _ => return None,
     })

@@ -28,7 +28,7 @@ use std::fmt;
 use std::path::Path;
 
 use tls_core::CompileOptions;
-use tls_ir::{generate, serial, validate, GenConfig, Module, Operand, Terminator};
+use tls_ir::{generate, serial, validate, validate_epochs, GenConfig, Module, Operand, Terminator};
 use tls_profile::{ArchOutcome, InterpConfig};
 
 use crate::{par, ExperimentError, Harness, Mode};
@@ -274,6 +274,13 @@ pub fn check_pair(
 pub fn check_seed(seed: u64, cfg: &FuzzConfig) -> Result<SeedStats, Failure> {
     let measure = generate(seed, &cfg.gen, 0);
     let train = generate(seed, &cfg.gen, 1);
+    // A zero-epoch program trivially satisfies every differential property
+    // — the generator emitting one is a bug, not a passing seed. Checked
+    // here rather than in `check_module` so the shrinker may still
+    // straighten loops while minimizing (the failure signature, not the
+    // loop, is what shrinking preserves).
+    validate_epochs(&measure)
+        .map_err(|e| failure(FailureKind::Invalid, format!("measure: {e}")))?;
     check_pair(&measure, Some(&train), cfg, &ALL_MODES)
 }
 
@@ -619,10 +626,14 @@ impl Journal {
 
 /// Run `iters` seeds starting at `seed0`; shrink each failure and, when
 /// `out_dir` is given, write the artifact there. Equivalent to
-/// [`run_fuzz_resumable`] with `resume = false` (which cannot fail).
+/// [`run_fuzz_resumable`] with `resume = false`.
+///
+/// # Panics
+/// If `cfg.gen` is rejected by [`GenConfig::validated`]; use
+/// [`run_fuzz_resumable`] to handle that as an error.
 pub fn run_fuzz(seed0: u64, iters: u64, cfg: &FuzzConfig, out_dir: Option<&Path>) -> FuzzReport {
     run_fuzz_resumable(seed0, iters, cfg, out_dir, false)
-        .expect("a fresh campaign never fails to start")
+        .expect("a fresh campaign with a valid generator config never fails to start")
 }
 
 /// The journaled campaign driver behind `repro fuzz [--resume]`.
@@ -637,7 +648,9 @@ pub fn run_fuzz(seed0: u64, iters: u64, cfg: &FuzzConfig, out_dir: Option<&Path>
 /// not kill a running campaign.
 ///
 /// # Errors
-/// Only on `resume`: a missing/corrupt journal, or one recorded for a
+/// A generator configuration rejected by [`GenConfig::validated`] (knob
+/// combinations that could only produce empty or single-epoch programs),
+/// or on `resume`: a missing/corrupt journal, or one recorded for a
 /// different `--seed`/`--iters` range.
 pub fn run_fuzz_resumable(
     seed0: u64,
@@ -646,6 +659,17 @@ pub fn run_fuzz_resumable(
     out_dir: Option<&Path>,
     resume: bool,
 ) -> Result<FuzzReport, String> {
+    // Reject degenerate knob combinations before burning any seeds: a
+    // campaign over zero-epoch programs would report green while testing
+    // nothing.
+    let cfg = FuzzConfig {
+        gen: cfg
+            .gen
+            .validated()
+            .map_err(|e| format!("generator config rejected: {e}"))?,
+        ..cfg.clone()
+    };
+    let cfg = &cfg;
     let journal_path = out_dir.map(|d| d.join("journal.txt"));
     let mut j = Journal {
         seed0,
@@ -886,6 +910,19 @@ mod tests {
         // A mismatched range is refused.
         assert!(run_fuzz_resumable(9, 4, &FuzzConfig::default(), Some(&dir), true).is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degenerate_generator_config_is_rejected_up_front() {
+        let cfg = FuzzConfig {
+            gen: GenConfig {
+                region_loops: (0, 0),
+                ..GenConfig::default()
+            },
+            ..FuzzConfig::default()
+        };
+        let err = run_fuzz_resumable(0, 1, &cfg, None, false).unwrap_err();
+        assert!(err.contains("generator config rejected"), "{err}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+use std::sync::OnceLock;
 
 use tls_core::{compile_all, loads_above_threshold, CompilationSet, CompileError, CompileOptions};
 use tls_profile::{record_oracle, ExecError, ValueOracle};
@@ -20,6 +21,51 @@ pub enum Scale {
     /// Measure the `ref` input, profile-on-train available (the paper's
     /// setup).
     Full,
+    /// Measure the `ref` input magnified by a workload-level
+    /// [`tls_workloads::Scale`] multiplier (iterations × footprint). The
+    /// train profile stays at base scale — profiles transfer across scales
+    /// because scaling never changes the instruction stream.
+    Scaled(tls_workloads::Scale),
+    /// Measure the `train` input magnified by a multiplier (cheap sweep
+    /// points). Like [`Scale::Quick`], the `T` compilation reuses `C`.
+    ScaledQuick(tls_workloads::Scale),
+}
+
+impl Scale {
+    /// Parse a CLI scale: `quick`, `ref`/`full`, `NxM`/`Nx`/`N` (ref input
+    /// at N× iterations, M× footprint) or `quick:NxM` (train input
+    /// magnified).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "ref" | "full" => Some(Scale::Full),
+            other => {
+                if let Some(q) = other.strip_prefix("quick:") {
+                    let ws = tls_workloads::Scale::parse(q)?;
+                    Some(if ws.is_base() {
+                        Scale::Quick
+                    } else {
+                        Scale::ScaledQuick(ws)
+                    })
+                } else {
+                    // Accept our own labels back: `ref:NxM` == `NxM`.
+                    let ws =
+                        tls_workloads::Scale::parse(other.strip_prefix("ref:").unwrap_or(other))?;
+                    Some(if ws.is_base() { Scale::Full } else { Scale::Scaled(ws) })
+                }
+            }
+        }
+    }
+
+    /// Human-readable label (`quick`, `ref`, `ref:100x1`, `quick:4x2`).
+    pub fn label(&self) -> String {
+        match self {
+            Scale::Quick => "quick".into(),
+            Scale::Full => "ref".into(),
+            Scale::Scaled(ws) => format!("ref:{}", ws.label()),
+            Scale::ScaledQuick(ws) => format!("quick:{}", ws.label()),
+        }
+    }
 }
 
 /// An evaluation configuration (see the crate docs for the letter mapping).
@@ -284,8 +330,23 @@ pub struct Harness {
     /// state, not program data, so the architectural memory comparison
     /// skips them.
     pub scratch: std::ops::Range<i64>,
-    oracle_u: ValueOracle,
-    oracle_c: ValueOracle,
+    // Value oracles record every region load's sequential value — O(dynamic
+    // loads) memory — but only the oracle modes (`O`, thresholds, `E`) read
+    // them. Recorded lazily on first use so scaled-up runs of the other
+    // modes stay constant-memory.
+    oracle_u: OnceLock<Result<ValueOracle, ExecError>>,
+    oracle_c: OnceLock<Result<ValueOracle, ExecError>>,
+}
+
+/// Which value oracle a mode consumes (see [`Harness::resolve`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum OracleUse {
+    /// No oracle.
+    None,
+    /// Sequential values of the unsynchronized module's loads.
+    Unsync,
+    /// Sequential values of the synchronized module's loads.
+    Synced,
 }
 
 impl Harness {
@@ -307,13 +368,19 @@ impl Harness {
         let measure = match scale {
             Scale::Quick => workload.module(InputSet::Train),
             Scale::Full => workload.module(InputSet::Ref),
+            Scale::Scaled(ws) => workload.module_scaled(InputSet::Ref, ws),
+            Scale::ScaledQuick(ws) => workload.module_scaled(InputSet::Train, ws),
         };
         let train = match scale {
             // At quick scale the measurement input *is* the train input, so
             // the `T` compilation would be bit-identical to `C`: reuse it
             // instead of profiling and compiling a second time.
-            Scale::Quick => None,
-            Scale::Full => Some(workload.module(InputSet::Train)),
+            Scale::Quick | Scale::ScaledQuick(_) => None,
+            // Profiles are gathered on the *base-scale* train input: scaling
+            // shares static ids with the base program, so the profile
+            // transfers — and profiling stays cheap at any measurement
+            // scale.
+            Scale::Full | Scale::Scaled(_) => Some(workload.module(InputSet::Train)),
         };
         Self::from_modules(workload.name, &measure, train.as_ref(), opts)
     }
@@ -336,8 +403,6 @@ impl Harness {
             None => set_c.clone(),
             Some(t) => compile_all(measure, t, opts)?,
         };
-        let oracle_u = record_oracle(&set_c.unsync)?;
-        let oracle_c = record_oracle(&set_c.synced)?;
         let seq = Machine::new(&set_c.seq, SimConfig::sequential()).run()?;
         let scratch_end = [&set_c.unsync, &set_c.synced, &set_t.synced]
             .iter()
@@ -352,8 +417,8 @@ impl Harness {
             set_t,
             seq,
             base: SimConfig::cgo2004(),
-            oracle_u,
-            oracle_c,
+            oracle_u: OnceLock::new(),
+            oracle_c: OnceLock::new(),
         })
     }
 
@@ -430,8 +495,8 @@ impl Harness {
         mode: Mode,
         tracer: &mut T,
     ) -> Result<SimResult, ExperimentError> {
-        let (module, cfg, oracle) = self.resolve(mode);
-        let machine = match oracle {
+        let (module, cfg, which) = self.resolve(mode);
+        let machine = match self.oracle(which)? {
             Some(o) => Machine::with_oracle(module, cfg, o),
             None => Machine::new(module, cfg),
         };
@@ -466,9 +531,9 @@ impl Harness {
         checked: bool,
         tracer: &mut T,
     ) -> Result<SimResult, ExperimentError> {
-        let (module, mut cfg, oracle) = self.resolve(mode);
+        let (module, mut cfg, which) = self.resolve(mode);
         cfg.inject = Some(plan);
-        let machine = match oracle {
+        let machine = match self.oracle(which)? {
             Some(o) => Machine::with_oracle(module, cfg, o),
             None => Machine::new(module, cfg),
         };
@@ -485,9 +550,22 @@ impl Harness {
         Ok(result)
     }
 
+    /// Record (once) and fetch the oracle a mode consumes.
+    fn oracle(&self, which: OracleUse) -> Result<Option<&ValueOracle>, ExperimentError> {
+        let (slot, module) = match which {
+            OracleUse::None => return Ok(None),
+            OracleUse::Unsync => (&self.oracle_u, &self.set_c.unsync),
+            OracleUse::Synced => (&self.oracle_c, &self.set_c.synced),
+        };
+        slot.get_or_init(|| record_oracle(module))
+            .as_ref()
+            .map(Some)
+            .map_err(|e| ExperimentError::Oracle(e.clone()))
+    }
+
     /// Resolve a mode to the module, full machine configuration and value
     /// oracle its simulation uses.
-    fn resolve(&self, mode: Mode) -> (&tls_ir::Module, SimConfig, Option<&ValueOracle>) {
+    fn resolve(&self, mode: Mode) -> (&tls_ir::Module, SimConfig, OracleUse) {
         let base = self.base.clone();
         match mode {
             Mode::Seq => (
@@ -496,16 +574,16 @@ impl Harness {
                     parallelize: false,
                     ..base
                 },
-                None,
+                OracleUse::None,
             ),
-            Mode::Unsync => (&self.set_c.unsync, base, None),
+            Mode::Unsync => (&self.set_c.unsync, base, OracleUse::None),
             Mode::OracleAll => (
                 &self.set_c.unsync,
                 SimConfig {
                     oracle_sel: OracleSel::AllLoads,
                     ..base
                 },
-                Some(&self.oracle_u),
+                OracleUse::Unsync,
             ),
             Mode::Threshold(p) => {
                 let loads = loads_above_threshold(
@@ -519,18 +597,18 @@ impl Harness {
                         oracle_sel: OracleSel::Sids(loads),
                         ..base
                     },
-                    Some(&self.oracle_u),
+                    OracleUse::Unsync,
                 )
             }
-            Mode::CompilerTrain => (&self.set_t.synced, base, None),
-            Mode::CompilerRef => (&self.set_c.synced, base, None),
+            Mode::CompilerTrain => (&self.set_t.synced, base, OracleUse::None),
+            Mode::CompilerRef => (&self.set_c.synced, base, OracleUse::None),
             Mode::PerfectSync => (
                 &self.set_c.synced,
                 SimConfig {
                     sync_load_policy: SyncLoadPolicy::Oracle,
                     ..base
                 },
-                Some(&self.oracle_c),
+                OracleUse::Synced,
             ),
             Mode::LateSync => (
                 &self.set_c.synced,
@@ -538,7 +616,7 @@ impl Harness {
                     sync_load_policy: SyncLoadPolicy::StallTillOldest,
                     ..base
                 },
-                None,
+                OracleUse::None,
             ),
             Mode::HwPredict => (
                 &self.set_c.unsync,
@@ -546,7 +624,7 @@ impl Harness {
                     hw_predict: true,
                     ..base
                 },
-                None,
+                OracleUse::None,
             ),
             Mode::HwSync => (
                 &self.set_c.unsync,
@@ -554,7 +632,7 @@ impl Harness {
                     hw_sync: true,
                     ..base
                 },
-                None,
+                OracleUse::None,
             ),
             Mode::Hybrid => (
                 &self.set_c.synced,
@@ -562,7 +640,7 @@ impl Harness {
                     hw_sync: true,
                     ..base
                 },
-                None,
+                OracleUse::None,
             ),
             Mode::HybridFiltered => (
                 &self.set_c.synced,
@@ -571,7 +649,7 @@ impl Harness {
                     hybrid_filter: true,
                     ..base
                 },
-                None,
+                OracleUse::None,
             ),
             Mode::Marking {
                 stall_compiler,
@@ -586,7 +664,7 @@ impl Harness {
                         hw_sync: stall_hardware,
                         ..base
                     },
-                    None,
+                    OracleUse::None,
                 )
             }
         }

@@ -28,6 +28,112 @@ const ARR_WORDS: i64 = 32;
 const SHARED_WORDS: i64 = 8;
 /// General-purpose registers the random statements read and write.
 const POOL_VARS: usize = 6;
+/// Call-chain depth of the `deep_clone` family — deeper than any baseline
+/// program (whose helpers are leaf calls), so synchronization insertion
+/// must clone through the whole chain.
+const CLONE_DEPTH: usize = 4;
+
+/// Scenario family: the overall shape [`generate`] emits.
+///
+/// `Baseline` is the original unconstrained random program. The other
+/// families are adversarial shapes from the paper's failure modes:
+/// mid-run dependence-pattern flips, cache-line false sharing, deep call
+/// chains and mixed independent/dependent nests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GenFamily {
+    /// Unconstrained random programs (the original generator).
+    Baseline,
+    /// One region whose dependence pattern flips mid-run: a distance-1
+    /// fixed-address dependence before the (data-dependent!) boundary, a
+    /// distance-2 strided dependence after it. The boundary constant comes
+    /// from the *data* stream, so a train-input profile places
+    /// synchronization for a different phase mix than the measurement run
+    /// executes.
+    PhaseShift,
+    /// Epochs read a never-written word and store to rotating *other* words
+    /// of the same cache line: no true dependence at word grain, a conflict
+    /// every epoch at line grain.
+    FalseSharing,
+    /// The region's only dependence is a `shared` read-modify-write buried
+    /// [`CLONE_DEPTH`] calls deep, forcing synchronization insertion to
+    /// clone the entire chain.
+    DeepClone,
+    /// Alternating independent and dependent top-level loop nests, so one
+    /// module carries regions that want speculation and regions that want
+    /// synchronization side by side.
+    MixedNests,
+}
+
+impl GenFamily {
+    /// Every family, baseline first.
+    pub const ALL: [GenFamily; 5] = [
+        GenFamily::Baseline,
+        GenFamily::PhaseShift,
+        GenFamily::FalseSharing,
+        GenFamily::DeepClone,
+        GenFamily::MixedNests,
+    ];
+
+    /// Stable CLI name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GenFamily::Baseline => "baseline",
+            GenFamily::PhaseShift => "phase_shift",
+            GenFamily::FalseSharing => "false_sharing",
+            GenFamily::DeepClone => "deep_clone",
+            GenFamily::MixedNests => "mixed_nests",
+        }
+    }
+
+    /// Parse a CLI name (the inverse of [`GenFamily::label`]).
+    pub fn parse(s: &str) -> Option<GenFamily> {
+        GenFamily::ALL.into_iter().find(|f| f.label() == s)
+    }
+}
+
+/// A [`GenConfig`] knob combination that cannot produce a meaningful
+/// module (empty, or single-epoch regions that never speculate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenConfigError {
+    /// A `(lo, hi)` range knob with `lo > hi`.
+    EmptyRange {
+        /// Knob name.
+        knob: &'static str,
+        /// Range low bound.
+        lo: i64,
+        /// Range high bound.
+        hi: i64,
+    },
+    /// `region_loops` cannot emit a single loop: the module would have no
+    /// epochs at all.
+    NoRegionLoops,
+    /// A trip-count knob admitting fewer than 2 iterations: regions with 0
+    /// or 1 epochs never speculate, so every mode trivially agrees.
+    TripTooSmall {
+        /// Knob name.
+        knob: &'static str,
+        /// Offending low bound.
+        got: i64,
+    },
+}
+
+impl std::fmt::Display for GenConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenConfigError::EmptyRange { knob, lo, hi } => {
+                write!(f, "{knob}: empty range ({lo}, {hi})")
+            }
+            GenConfigError::NoRegionLoops => {
+                write!(f, "region_loops admits 0 loops: module would have no epochs")
+            }
+            GenConfigError::TripTooSmall { knob, got } => {
+                write!(f, "{knob}: trip bound {got} < 2 admits single-epoch regions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenConfigError {}
 
 /// Distribution knobs for the random program generator.
 ///
@@ -71,6 +177,9 @@ pub struct GenConfig {
     pub call_prob: f64,
     /// Probability that a statement emits to the observable output stream.
     pub output_prob: f64,
+    /// Scenario family (program shape); the remaining knobs feed the random
+    /// filler inside each shape.
+    pub family: GenFamily,
 }
 
 impl Default for GenConfig {
@@ -91,7 +200,86 @@ impl Default for GenConfig {
             inner_loop_prob: 0.3,
             call_prob: 0.3,
             output_prob: 0.08,
+            family: GenFamily::Baseline,
         }
+    }
+}
+
+impl GenConfig {
+    /// The tuned configuration for a scenario family.
+    pub fn for_family(family: GenFamily) -> GenConfig {
+        let base = GenConfig::default();
+        match family {
+            GenFamily::Baseline => base,
+            // One long region so a single-epoch phase stays under the 5%
+            // placement threshold while a dominant phase is far above it.
+            GenFamily::PhaseShift => GenConfig {
+                family,
+                region_loops: (1, 1),
+                outer_trips: (24, 48),
+                ..base
+            },
+            GenFamily::FalseSharing => GenConfig {
+                family,
+                region_loops: (1, 1),
+                outer_trips: (8, 20),
+                ..base
+            },
+            GenFamily::DeepClone => GenConfig {
+                family,
+                region_loops: (1, 1),
+                outer_trips: (6, 14),
+                ..base
+            },
+            GenFamily::MixedNests => GenConfig {
+                family,
+                // Each nest draws its own trip; four nests are emitted.
+                outer_trips: (4, 10),
+                ..base
+            },
+        }
+    }
+
+    /// Reject or clamp knob combinations that produce empty or single-epoch
+    /// modules: ranges must be non-empty, at least one region loop must be
+    /// possible, and outer trips must admit ≥ 2 epochs (clamped up if the
+    /// high bound allows it).
+    ///
+    /// # Errors
+    /// A [`GenConfigError`] naming the first unusable knob.
+    pub fn validated(&self) -> Result<GenConfig, GenConfigError> {
+        let mut cfg = self.clone();
+        for (knob, lo, hi) in [
+            ("region_loops", cfg.region_loops.0 as i64, cfg.region_loops.1 as i64),
+            ("outer_trips", cfg.outer_trips.0, cfg.outer_trips.1),
+            ("inner_trips", cfg.inner_trips.0, cfg.inner_trips.1),
+            ("body_stmts", cfg.body_stmts.0 as i64, cfg.body_stmts.1 as i64),
+        ] {
+            if lo > hi {
+                return Err(GenConfigError::EmptyRange { knob, lo, hi });
+            }
+        }
+        if cfg.region_loops.1 == 0 {
+            return Err(GenConfigError::NoRegionLoops);
+        }
+        // A module must always contain at least one region loop.
+        cfg.region_loops.0 = cfg.region_loops.0.max(1);
+        if cfg.outer_trips.1 < 2 {
+            return Err(GenConfigError::TripTooSmall {
+                knob: "outer_trips",
+                got: cfg.outer_trips.1,
+            });
+        }
+        // Single-epoch (or empty) regions never speculate: clamp up.
+        cfg.outer_trips.0 = cfg.outer_trips.0.max(2);
+        if cfg.inner_trips.1 < 1 {
+            return Err(GenConfigError::TripTooSmall {
+                knob: "inner_trips",
+                got: cfg.inner_trips.1,
+            });
+        }
+        cfg.inner_trips.0 = cfg.inner_trips.0.max(1);
+        Ok(cfg)
     }
 }
 
@@ -123,10 +311,27 @@ pub fn generate(seed: u64, cfg: &GenConfig, data_salt: u64) -> Module {
         (0..ARR_WORDS).map(|_| data.gen_range(-256, 256)).collect(),
     );
 
+    // Family-specific globals come after the two baseline globals, so the
+    // baseline layout (and its RNG streams) is untouched.
+    let fs = (cfg.family == GenFamily::FalseSharing).then(|| {
+        mb.add_global(
+            "fs_line",
+            crate::LINE_WORDS as u64,
+            (0..crate::LINE_WORDS).map(|_| data.gen_range(-64, 64)).collect(),
+        )
+    });
+
     let n_helpers = rng.gen_range(0, cfg.helper_funcs as i64 + 1) as usize;
     let helpers: Vec<FuncId> = (0..n_helpers)
         .map(|i| mb.declare(format!("helper{i}"), 1))
         .collect();
+    // The deep-clone call chain: chain0 → chain1 → … → the leaf, which
+    // carries the region's only dependence.
+    let chain: Vec<FuncId> = if cfg.family == GenFamily::DeepClone {
+        (0..CLONE_DEPTH).map(|i| mb.declare(format!("chain{i}"), 1)).collect()
+    } else {
+        Vec::new()
+    };
     let main = mb.declare("main", 0);
 
     let mut gen = Gen {
@@ -135,6 +340,7 @@ pub fn generate(seed: u64, cfg: &GenConfig, data_salt: u64) -> Module {
         cfg,
         shared,
         arr,
+        fs,
         helpers: helpers.clone(),
         pool: Vec::new(),
         inds: Vec::new(),
@@ -153,6 +359,29 @@ pub fn generate(seed: u64, cfg: &GenConfig, data_salt: u64) -> Module {
         gen.inds.clear();
     }
 
+    for (k, &f) in chain.iter().enumerate() {
+        let mut fb = mb.define(f);
+        gen.begin_func(&mut fb, true);
+        if let Some(&next) = chain.get(k + 1) {
+            // Interior link: a little private work, then pass down.
+            gen.emit_alu_stmts(&mut fb, 2);
+            let dst = gen.pool[0];
+            let arg = gen.pool[1];
+            fb.call(Some(dst), next, vec![Operand::Var(arg)]);
+            fb.ret(Some(Operand::Var(dst)));
+        } else {
+            // Leaf: the distance-1 shared RMW, CLONE_DEPTH calls deep.
+            let a = gen.addr;
+            fb.bin(a, BinOp::Add, Operand::Global(gen.shared), 0);
+            fb.load(gen.scratch, a, 0);
+            fb.bin(gen.scratch, BinOp::Add, gen.scratch, fb.param(0));
+            fb.store(gen.scratch, a, 0);
+            fb.ret(Some(Operand::Var(gen.scratch)));
+        }
+        fb.finish();
+        gen.inds.clear();
+    }
+
     let mut fb = mb.define(main);
     gen.begin_func(&mut fb, false);
     // Prologue: seed the register pool with data-dependent values.
@@ -160,12 +389,38 @@ pub fn generate(seed: u64, cfg: &GenConfig, data_salt: u64) -> Module {
         let c = gen.data.gen_range(-100, 100);
         fb.assign(v, c);
     }
-    let n_loops = gen
-        .rng
-        .gen_range(cfg.region_loops.0 as i64, cfg.region_loops.1 as i64 + 1);
-    for li in 0..n_loops {
-        let trip = gen.rng.gen_range(cfg.outer_trips.0, cfg.outer_trips.1 + 1);
-        gen.emit_loop(&mut fb, &format!("outer{li}"), trip, 0);
+    match cfg.family {
+        GenFamily::Baseline => {
+            let n_loops = gen
+                .rng
+                .gen_range(cfg.region_loops.0 as i64, cfg.region_loops.1 as i64 + 1);
+            for li in 0..n_loops {
+                let trip = gen.rng.gen_range(cfg.outer_trips.0, cfg.outer_trips.1 + 1);
+                gen.emit_loop(&mut fb, &format!("outer{li}"), trip, 0);
+            }
+        }
+        GenFamily::PhaseShift => {
+            let trip = gen
+                .rng
+                .gen_range(cfg.outer_trips.0.max(8), cfg.outer_trips.1.max(8) + 1);
+            gen.emit_phase_shift(&mut fb, trip);
+        }
+        GenFamily::FalseSharing => {
+            let trip = gen
+                .rng
+                .gen_range(cfg.outer_trips.0.max(4), cfg.outer_trips.1.max(4) + 1);
+            gen.emit_false_sharing(&mut fb, trip);
+        }
+        GenFamily::DeepClone => {
+            let trip = gen.rng.gen_range(cfg.outer_trips.0, cfg.outer_trips.1 + 1);
+            gen.emit_deep_clone(&mut fb, trip, chain[0]);
+        }
+        GenFamily::MixedNests => {
+            for li in 0..4 {
+                let trip = gen.rng.gen_range(cfg.outer_trips.0, cfg.outer_trips.1 + 1);
+                gen.emit_mixed_nest(&mut fb, li, trip);
+            }
+        }
     }
     gen.emit_checksum(&mut fb);
     let acc = gen.pool[0];
@@ -183,6 +438,8 @@ struct Gen<'a> {
     cfg: &'a GenConfig,
     shared: GlobalId,
     arr: GlobalId,
+    /// The false-sharing line (`Some` only for that family).
+    fs: Option<GlobalId>,
     helpers: Vec<FuncId>,
     /// General-purpose registers; random statements read and write these.
     pool: Vec<Var>,
@@ -326,6 +583,203 @@ impl Gen<'_> {
         }
     }
 
+    /// Epoch-private ALU filler: re-initializes the scratch register from
+    /// the induction and then only reads and writes scratch, so it adds
+    /// work without creating loop-carried scalar dependences. Carried
+    /// scalars get a wait at the epoch header, which serializes the whole
+    /// body and would mask the memory races the race-sensitive families
+    /// (`phase_shift`, `false_sharing`) exist to provoke.
+    fn emit_private_filler(&mut self, fb: &mut FuncBuilder<'_>, n: u32, i: Var) {
+        let s = self.scratch;
+        fb.bin(s, BinOp::Mul, i, 7);
+        for _ in 0..n {
+            let op = self.rand_binop();
+            let c = 1 + self.rng.gen_range(0, 63);
+            fb.bin(s, op, s, c);
+        }
+    }
+
+    /// Emit `n` pure-ALU statements (no memory, no output) — filler for the
+    /// family emitters, which control their memory traffic exactly.
+    fn emit_alu_stmts(&mut self, fb: &mut FuncBuilder<'_>, n: u32) {
+        for _ in 0..n {
+            let dst = self.pool[self.rng.pick(self.pool.len())];
+            let op = self.rand_binop();
+            let (x, y) = (self.operand(), self.operand());
+            fb.bin(dst, op, x, y);
+        }
+    }
+
+    /// Emit the counted-loop skeleton shared by the family emitters and
+    /// leave the cursor at the body; returns `(i, latch, exit)`.
+    fn family_loop(
+        &mut self,
+        fb: &mut FuncBuilder<'_>,
+        name: &str,
+        trip: i64,
+    ) -> (Var, crate::BlockId, crate::BlockId) {
+        let i = fb.var(format!("{name}_i"));
+        let c = fb.var(format!("{name}_c"));
+        fb.assign(i, 0);
+        let head = fb.block(format!("{name}_head"));
+        let body = fb.block(format!("{name}_body"));
+        let latch = fb.block(format!("{name}_latch"));
+        let exit = fb.block(format!("{name}_exit"));
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.bin(c, BinOp::Lt, i, trip);
+        fb.br(c, body, exit);
+        fb.switch_to(latch);
+        fb.bin(i, BinOp::Add, i, 1);
+        fb.jump(head);
+        fb.switch_to(body);
+        self.inds.push(i);
+        (i, latch, exit)
+    }
+
+    /// `phase_shift`: one region whose dependence regime flips at a
+    /// boundary drawn from the *data* stream — either late (phase B is the
+    /// final iteration only) or early (phase B dominates). Before the
+    /// boundary each epoch does a distance-1 RMW on `shared[0]` and seeds
+    /// `arr[i]`; after it, a distance-2 read through `arr` plus a
+    /// distance-1 RMW on the *second* line of `shared`, which no other
+    /// code touches. A profile gathered on a late-boundary input never
+    /// sees that phase-B recurrence (its one epoch has no prior writer, so
+    /// its distance-1 frequency is zero), so profile-driven placement
+    /// leaves it unsynchronized; an early-boundary run then violates on
+    /// most epochs while runtime schemes adapt — the adversary for
+    /// train/ref signal placement. Control depends only on the counter
+    /// and a prologue constant, never on loaded values, so termination is
+    /// preserved.
+    fn emit_phase_shift(&mut self, fb: &mut FuncBuilder<'_>, trip: i64) {
+        let boundary = fb.var("ps_boundary");
+        // Bimodal: the data salt decides which phase dominates, flipping
+        // the recurrence's profiled frequency between ~0 and ~75%.
+        let late = self.data.gen_range(0, 2) == 1;
+        let b = if late { trip - 1 } else { trip / 4 };
+        fb.assign(boundary, b);
+        let (i, latch, exit) = self.family_loop(fb, "phase", trip);
+        let pc = fb.var("ps_pc");
+        let a_blk = fb.block("ps_a");
+        let b_blk = fb.block("ps_b");
+        let join = fb.block("ps_j");
+        fb.bin(pc, BinOp::Lt, i, boundary);
+        fb.br(pc, a_blk, b_blk);
+        // Phase A: frequent distance-1 dependence at a fixed address, plus
+        // the store that seeds phase B's distance-2 chain.
+        fb.switch_to(a_blk);
+        let a = self.addr;
+        fb.bin(a, BinOp::Add, Operand::Global(self.shared), 0);
+        fb.load(self.scratch, a, 0);
+        fb.bin(self.scratch, BinOp::Add, self.scratch, i);
+        fb.store(self.scratch, a, 0);
+        fb.bin(a, BinOp::And, i, ARR_WORDS - 1);
+        fb.bin(a, BinOp::Add, Operand::Global(self.arr), a);
+        fb.store(Operand::Var(i), a, 0);
+        fb.jump(join);
+        // Phase B: the distance-2 read of `arr` (kept below the placement
+        // threshold by `epochs_d1` filtering) and the phase-B-only
+        // distance-1 recurrence on the second shared line.
+        fb.switch_to(b_blk);
+        fb.bin(a, BinOp::Sub, i, 2);
+        fb.bin(a, BinOp::And, a, ARR_WORDS - 1);
+        fb.bin(a, BinOp::Add, Operand::Global(self.arr), a);
+        fb.load(self.scratch, a, 0);
+        fb.bin(self.scratch, BinOp::Mul, self.scratch, 3);
+        fb.bin(a, BinOp::And, i, ARR_WORDS - 1);
+        fb.bin(a, BinOp::Add, Operand::Global(self.arr), a);
+        fb.store(Operand::Var(self.scratch), a, 0);
+        fb.bin(a, BinOp::Add, Operand::Global(self.shared), crate::LINE_WORDS);
+        fb.load(self.scratch, a, 0);
+        fb.bin(self.scratch, BinOp::Add, self.scratch, i);
+        fb.store(self.scratch, a, 0);
+        fb.jump(join);
+        fb.switch_to(join);
+        let n = self.stmt_count();
+        self.emit_private_filler(fb, n, i);
+        self.inds.pop();
+        fb.jump(latch);
+        fb.switch_to(exit);
+    }
+
+    /// `false_sharing`: epoch `k` reads the never-stored word 0 of a
+    /// dedicated line and stores to word `1 + (k mod (LINE_WORDS-1))` — no
+    /// true dependence at word grain, a conflict every epoch at line grain.
+    fn emit_false_sharing(&mut self, fb: &mut FuncBuilder<'_>, trip: i64) {
+        let fs = self.fs.expect("false_sharing family allocates fs_line");
+        let (i, latch, exit) = self.family_loop(fb, "fsl", trip);
+        let a = self.addr;
+        // Read the read-only mode word: at line grain this puts the whole
+        // line into the epoch's read set.
+        fb.bin(a, BinOp::Add, Operand::Global(fs), 0);
+        fb.load(self.scratch, a, 0);
+        // Store to a rotating *other* word of the same line.
+        let slot = fb.var("fsl_slot");
+        fb.bin(slot, BinOp::Rem, i, crate::LINE_WORDS - 1);
+        fb.bin(slot, BinOp::Add, slot, 1);
+        fb.bin(a, BinOp::Add, Operand::Global(fs), slot);
+        fb.bin(self.scratch, BinOp::Add, self.scratch, i);
+        fb.store(Operand::Var(self.scratch), a, 0);
+        // Private epoch work.
+        fb.bin(a, BinOp::Mul, i, crate::LINE_WORDS);
+        fb.bin(a, BinOp::And, a, ARR_WORDS - 1);
+        fb.bin(a, BinOp::Add, Operand::Global(self.arr), a);
+        fb.store(Operand::Var(i), a, 0);
+        let n = self.stmt_count();
+        self.emit_private_filler(fb, n, i);
+        self.inds.pop();
+        fb.jump(latch);
+        fb.switch_to(exit);
+    }
+
+    /// `deep_clone`: the region's only dependence is the shared RMW at the
+    /// bottom of the `chain0 → …` call chain.
+    fn emit_deep_clone(&mut self, fb: &mut FuncBuilder<'_>, trip: i64, chain0: FuncId) {
+        let (i, latch, exit) = self.family_loop(fb, "deep", trip);
+        let dst = self.pool[3];
+        fb.call(Some(dst), chain0, vec![Operand::Var(i)]);
+        // Independent tail work the forwarded value should overlap.
+        let a = self.addr;
+        fb.bin(a, BinOp::Mul, i, crate::LINE_WORDS);
+        fb.bin(a, BinOp::And, a, ARR_WORDS - 1);
+        fb.bin(a, BinOp::Add, Operand::Global(self.arr), a);
+        fb.store(Operand::Var(dst), a, 0);
+        let n = self.stmt_count();
+        self.emit_alu_stmts(fb, n);
+        self.inds.pop();
+        fb.jump(latch);
+        fb.switch_to(exit);
+    }
+
+    /// `mixed_nests`: even nests are fully independent (line-strided
+    /// private stores), odd nests carry a distance-1 shared RMW every
+    /// epoch.
+    fn emit_mixed_nest(&mut self, fb: &mut FuncBuilder<'_>, li: usize, trip: i64) {
+        let (i, latch, exit) = self.family_loop(fb, &format!("nest{li}"), trip);
+        let a = self.addr;
+        if li.is_multiple_of(2) {
+            // Independent: each epoch owns its line of `arr`.
+            fb.bin(a, BinOp::Mul, i, crate::LINE_WORDS);
+            fb.bin(a, BinOp::And, a, ARR_WORDS - 1);
+            fb.bin(a, BinOp::Add, Operand::Global(self.arr), a);
+            fb.load(self.scratch, a, 0);
+            fb.bin(self.scratch, BinOp::Add, self.scratch, i);
+            fb.store(Operand::Var(self.scratch), a, 0);
+        } else {
+            // Dependent: serialize on a hot shared slot.
+            let slot = (li / 2) % SHARED_WORDS as usize;
+            fb.bin(a, BinOp::Add, Operand::Global(self.shared), slot as i64);
+            fb.load(self.scratch, a, 0);
+            fb.bin(self.scratch, BinOp::Add, self.scratch, i);
+            fb.store(Operand::Var(self.scratch), a, 0);
+        }
+        let n = self.stmt_count();
+        self.emit_alu_stmts(fb, n);
+        self.inds.pop();
+        fb.jump(latch);
+        fb.switch_to(exit);
+    }
+
     /// Emit a data-dependent diamond: both arms rejoin, so control always
     /// converges regardless of (possibly speculatively wrong) data.
     fn emit_diamond(&mut self, fb: &mut FuncBuilder<'_>, name: &str) {
@@ -409,10 +863,14 @@ impl Gen<'_> {
     fn emit_checksum(&mut self, fb: &mut FuncBuilder<'_>) {
         let acc = self.pool[0];
         let tmp = self.pool[1];
-        for (base, words, name) in [
+        let mut targets = vec![
             (self.arr, ARR_WORDS, "ck_arr"),
             (self.shared, SHARED_WORDS, "ck_sh"),
-        ] {
+        ];
+        if let Some(fs) = self.fs {
+            targets.push((fs, crate::LINE_WORDS, "ck_fs"));
+        }
+        for (base, words, name) in targets {
             let i = fb.var(format!("{name}_i"));
             let c = fb.var(format!("{name}_c"));
             fb.assign(i, 0);
@@ -483,5 +941,110 @@ mod tests {
             validate(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(!m.funcs.is_empty() && m.static_instr_count() > 20);
         }
+    }
+
+    #[test]
+    fn family_field_does_not_perturb_baseline() {
+        // Adding the family knob must leave every baseline program
+        // byte-identical: existing fuzz seeds and journals stay valid.
+        let cfg = GenConfig {
+            family: GenFamily::Baseline,
+            ..GenConfig::default()
+        };
+        for seed in [0, 7, 123] {
+            assert_eq!(generate(seed, &cfg, 0), generate(seed, &GenConfig::default(), 0));
+        }
+    }
+
+    #[test]
+    fn all_families_generate_valid_epochful_modules() {
+        for family in GenFamily::ALL {
+            let cfg = GenConfig::for_family(family);
+            for seed in 0..25 {
+                let m = generate(seed, &cfg, 0);
+                validate(&m).unwrap_or_else(|e| panic!("{}/{seed}: {e}", family.label()));
+                crate::validate_epochs(&m)
+                    .unwrap_or_else(|e| panic!("{}/{seed}: {e}", family.label()));
+            }
+        }
+    }
+
+    #[test]
+    fn families_keep_structure_across_data_salts() {
+        for family in GenFamily::ALL {
+            let cfg = GenConfig::for_family(family);
+            let a = generate(11, &cfg, 0);
+            let b = generate(11, &cfg, 1);
+            assert_eq!(a.next_sid, b.next_sid, "{}", family.label());
+            assert_eq!(a.funcs.len(), b.funcs.len(), "{}", family.label());
+            for (fa, fb) in a.funcs.iter().zip(&b.funcs) {
+                assert_eq!(fa.blocks.len(), fb.blocks.len(), "{}", fa.name);
+                for (ba, bb) in fa.blocks.iter().zip(&fb.blocks) {
+                    assert_eq!(ba.instrs.len(), bb.instrs.len());
+                    assert_eq!(ba.term, bb.term);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn family_labels_round_trip() {
+        for family in GenFamily::ALL {
+            assert_eq!(GenFamily::parse(family.label()), Some(family));
+        }
+        assert_eq!(GenFamily::parse("nope"), None);
+    }
+
+    #[test]
+    fn deep_clone_has_a_full_call_chain() {
+        let cfg = GenConfig::for_family(GenFamily::DeepClone);
+        let m = generate(0, &cfg, 0);
+        let names: Vec<&str> = m.funcs.iter().map(|f| f.name.as_str()).collect();
+        for k in 0..CLONE_DEPTH {
+            assert!(
+                names.contains(&format!("chain{k}").as_str()),
+                "chain{k} missing from {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validated_clamps_and_rejects() {
+        let ok = GenConfig::default().validated().expect("default is fine");
+        assert_eq!(ok.outer_trips, GenConfig::default().outer_trips);
+
+        let clamped = GenConfig {
+            outer_trips: (0, 12),
+            region_loops: (0, 2),
+            ..GenConfig::default()
+        }
+        .validated()
+        .expect("clampable");
+        assert_eq!(clamped.outer_trips.0, 2, "single-epoch floor");
+        assert_eq!(clamped.region_loops.0, 1, "at least one loop");
+
+        let e = GenConfig {
+            outer_trips: (0, 1),
+            ..GenConfig::default()
+        }
+        .validated()
+        .unwrap_err();
+        assert!(matches!(e, GenConfigError::TripTooSmall { .. }), "{e}");
+
+        let e = GenConfig {
+            region_loops: (0, 0),
+            ..GenConfig::default()
+        }
+        .validated()
+        .unwrap_err();
+        assert_eq!(e, GenConfigError::NoRegionLoops);
+
+        let e = GenConfig {
+            outer_trips: (9, 3),
+            ..GenConfig::default()
+        }
+        .validated()
+        .unwrap_err();
+        assert!(matches!(e, GenConfigError::EmptyRange { knob: "outer_trips", .. }), "{e}");
     }
 }

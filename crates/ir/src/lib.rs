@@ -85,12 +85,12 @@ pub mod serial;
 mod validate;
 
 pub use builder::{FuncBuilder, ModuleBuilder};
-pub use generate::{generate, GenConfig};
+pub use generate::{generate, GenConfig, GenConfigError, GenFamily};
 pub use ids::{BlockId, ChanId, FuncId, GlobalId, GroupId, RegionId, Sid, Var};
 pub use instr::{BinOp, Instr, Operand, Terminator};
 pub use module::{Block, Function, Global, Module, SpecRegion};
 pub use rng::SplitMix64;
-pub use validate::{validate, ValidateError};
+pub use validate::{validate, validate_epochs, ValidateError};
 
 /// Bytes per machine word. Addresses in this IR count words, not bytes.
 pub const WORD_BYTES: u64 = 8;

@@ -68,6 +68,10 @@ pub enum ValidateError {
         /// The malformed region's id.
         region: u32,
     },
+    /// The entry function contains no loop (no backward control edge), so
+    /// the program has zero epochs and every TLS mode trivially agrees.
+    /// Raised only by [`validate_epochs`].
+    NoEpochs,
 }
 
 impl fmt::Display for ValidateError {
@@ -102,6 +106,9 @@ impl fmt::Display for ValidateError {
                 write!(f, "duplicate static instruction id in `{func}`")
             }
             ValidateError::BadRegion { region } => write!(f, "region {region} is malformed"),
+            ValidateError::NoEpochs => {
+                write!(f, "entry function has no loop: the program has zero epochs")
+            }
         }
     }
 }
@@ -133,6 +140,41 @@ pub fn validate(m: &Module) -> Result<(), ValidateError> {
         }
     }
     Ok(())
+}
+
+/// Check that the entry function contains at least one loop — i.e. at
+/// least one terminator targeting an earlier (or the same) block. Builder
+/// output lays blocks out in creation order, so a backward edge is exactly
+/// a loop. Modules without one have zero epochs: nothing speculates, every
+/// mode agrees trivially, and a fuzz run over them tests nothing — the
+/// fuzzer rejects them up front with this check.
+///
+/// Kept separate from [`validate`] because legitimately loop-free modules
+/// exist (tiny hand-built test programs); only epoch-oriented pipelines
+/// should insist on epochs.
+///
+/// # Errors
+/// [`ValidateError::NoEpochs`] if the entry function has no backward edge.
+pub fn validate_epochs(m: &Module) -> Result<(), ValidateError> {
+    if m.entry.index() >= m.funcs.len() {
+        return Err(ValidateError::BadEntry(m.entry));
+    }
+    let func = &m.funcs[m.entry.index()];
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let mut targets: Vec<BlockId> = Vec::new();
+        match &block.term {
+            Some(Terminator::Jump(t)) => targets.push(*t),
+            Some(Terminator::Br { t, f, .. }) => {
+                targets.push(*t);
+                targets.push(*f);
+            }
+            _ => {}
+        }
+        if targets.iter().any(|t| t.index() <= bi) {
+            return Ok(());
+        }
+    }
+    Err(ValidateError::NoEpochs)
 }
 
 fn validate_func(
@@ -332,6 +374,39 @@ mod tests {
             validate(&mb.build_unchecked()),
             Err(ValidateError::BadRegion { region: 0 })
         ));
+    }
+
+    #[test]
+    fn validate_epochs_rejects_straight_line_modules() {
+        let m = tiny().build().unwrap();
+        assert_eq!(validate_epochs(&m), Err(ValidateError::NoEpochs));
+    }
+
+    #[test]
+    fn validate_epochs_accepts_a_loop() {
+        use crate::instr::BinOp;
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare("main", 0);
+        let mut fb = mb.define(f);
+        let i = fb.var("i");
+        let c = fb.var("c");
+        fb.assign(i, 0);
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.bin(c, BinOp::Lt, Operand::Var(i), 4);
+        fb.br(c, body, exit);
+        fb.switch_to(body);
+        fb.bin(i, BinOp::Add, Operand::Var(i), 1);
+        fb.jump(head); // backward edge
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish();
+        mb.set_entry(f);
+        let m = mb.build().unwrap();
+        assert_eq!(validate_epochs(&m), Ok(()));
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use inject::{FaultClass, FaultPlan, FaultSummary};
 pub use machine::{Machine, SimError};
 pub use model::{check_conformance, ConformanceStats, ModelConfig};
 pub use spec::{MemSignal, ReadSet, SyncState, WriteBuffer};
-pub use stats::{RegionStats, SimResult, SlotBreakdown, ViolationClass};
+pub use stats::{RegionStats, SimResult, SlotBreakdown, StreamingStats, ViolationClass};
 pub use timing::{BranchPredictor, CoreTimer};
 pub use trace::{
     ascii_timeline, check_event_stream, events_from_json, events_to_json, parse_json,

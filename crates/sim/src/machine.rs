@@ -806,6 +806,7 @@ impl<'m> Machine<'m> {
                 });
                 attributed += slots;
                 stats.epochs += 1;
+                stats.epoch_cycles.record(cycles);
                 token_time = commit_done;
                 if T::ENABLED {
                     tracer.event(TraceEvent::EpochCommit {
@@ -1039,6 +1040,7 @@ impl<'m> Machine<'m> {
         for (k, v) in stats.violations_by_load {
             *agg.violations_by_load.entry(k).or_insert(0) += v;
         }
+        agg.epoch_cycles.merge(&stats.epoch_cycles);
         self.result.total_violations += stats.violations;
 
         // Resume sequential execution.

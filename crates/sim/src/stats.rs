@@ -54,6 +54,109 @@ impl SlotBreakdown {
     }
 }
 
+/// Constant-memory streaming summary of a per-epoch quantity (here: commit
+/// latency in cycles of each committed epoch attempt).
+///
+/// Holds count/sum/min/max plus a log2-bucketed histogram instead of a
+/// per-epoch vector, so memory stays O(1) regardless of how many epochs a
+/// scaled-up run commits. All operations are exact integer arithmetic:
+/// recording values one at a time ("streaming") and merging summaries built
+/// from any partition of the same values ("buffered") produce *identical*
+/// structs, which the property tests rely on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamingStats {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating: pinned at `u64::MAX` if the
+    /// total ever overflows, identically under any recording order).
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` while empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// `buckets[k]` counts values of bit length `k` (so bucket 0 holds only
+    /// the value 0, bucket k holds `2^(k-1) ..= 2^k - 1`).
+    pub buckets: [u64; 65],
+}
+
+impl Default for StreamingStats {
+    fn default() -> Self {
+        StreamingStats {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl StreamingStats {
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[(64 - v.leading_zeros()) as usize] += 1;
+    }
+
+    /// Merge another summary in place (exact: equivalent to having recorded
+    /// the other summary's values here).
+    pub fn merge(&mut self, o: &StreamingStats) {
+        self.count += o.count;
+        self.sum = self.sum.saturating_add(o.sum);
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+        for (b, ob) in self.buckets.iter_mut().zip(o.buckets.iter()) {
+            *b += ob;
+        }
+    }
+
+    /// Buffered reference aggregation: summarize a complete value list in
+    /// one shot. Must equal the streaming result for the same values.
+    pub fn from_values(values: &[u64]) -> StreamingStats {
+        let mut s = StreamingStats::default();
+        for &v in values {
+            s.record(v);
+        }
+        s
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded values (0.0 while empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the histogram bucket holding the `q`-quantile value
+    /// (`q` in `0.0..=1.0`), clamped to the exact max. A log2 sketch: the
+    /// true quantile lies within 2× of the returned bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let hi = if k == 0 { 0 } else { (1u64 << k).wrapping_sub(1) };
+                return hi.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+}
+
 /// Which synchronization scheme would have covered a violating load
 /// (Figure 11 classification).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -87,6 +190,9 @@ pub struct RegionStats {
     /// Violations per static load id (diagnostics, hardware-table studies),
     /// in `Sid` order.
     pub violations_by_load: BTreeMap<Sid, u64>,
+    /// Streaming summary of committed-epoch latencies (cycles from attempt
+    /// start to commit). Constant-memory: safe at any scale.
+    pub epoch_cycles: StreamingStats,
 }
 
 /// The outcome of one simulation.
@@ -125,6 +231,15 @@ impl SimResult {
         self.regions.values().map(|r| r.cycles).sum()
     }
 
+    /// Committed-epoch latency summary merged across all regions.
+    pub fn epoch_cycle_totals(&self) -> StreamingStats {
+        let mut out = StreamingStats::default();
+        for r in self.regions.values() {
+            out.merge(&r.epoch_cycles);
+        }
+        out
+    }
+
     /// Total violations classified for Figure 11.
     pub fn violation_class_totals(&self) -> BTreeMap<ViolationClass, u64> {
         let mut out = BTreeMap::new();
@@ -158,6 +273,48 @@ mod tests {
         acc.add(&f);
         assert_eq!(acc.total(), 40);
         assert_eq!(acc.fail, 22);
+    }
+
+    #[test]
+    fn streaming_matches_buffered_under_any_partition() {
+        let values: Vec<u64> = (0..200u64).map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(7) % 10_000).collect();
+        let buffered = StreamingStats::from_values(&values);
+        // Stream one at a time.
+        let mut streamed = StreamingStats::default();
+        for &v in &values {
+            streamed.record(v);
+        }
+        assert_eq!(streamed, buffered);
+        // Merge arbitrary partitions.
+        for chunk in [1usize, 3, 7, 64, 200] {
+            let mut merged = StreamingStats::default();
+            for part in values.chunks(chunk) {
+                merged.merge(&StreamingStats::from_values(part));
+            }
+            assert_eq!(merged, buffered, "partition by {chunk} must be exact");
+        }
+        assert_eq!(buffered.count, 200);
+        assert_eq!(buffered.sum, values.iter().sum::<u64>());
+        assert_eq!(buffered.min, *values.iter().min().unwrap());
+        assert_eq!(buffered.max, *values.iter().max().unwrap());
+    }
+
+    #[test]
+    fn quantile_brackets_the_true_value() {
+        let values: Vec<u64> = (1..=1000u64).collect();
+        let s = StreamingStats::from_values(&values);
+        assert_eq!(s.quantile(1.0), 1000);
+        assert_eq!(s.quantile(0.0), 1);
+        for q in [0.25f64, 0.5, 0.9, 0.99] {
+            let truth = values[((q * 1000.0).ceil() as usize - 1).min(999)];
+            let est = s.quantile(q);
+            assert!(est >= truth, "upper bound: {est} >= {truth} at q={q}");
+            assert!(est <= truth.saturating_mul(2), "within 2x: {est} <= 2*{truth} at q={q}");
+        }
+        let empty = StreamingStats::default();
+        assert_eq!(empty.quantile(0.5), 0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.mean(), 0.0);
     }
 
     #[test]

@@ -13,16 +13,15 @@
 
 use tls_ir::{BinOp, Module, ModuleBuilder};
 
-use crate::util::{churn, counted_loop, filler, input_data, rng, v, warm};
-use crate::InputSet;
+use crate::util::{churn, counted_loop, filler, input_data, rng, sized, v, warm};
+use crate::{InputSet, Scale};
 
 /// Compression (bucket counting).
-pub fn build_comp(input: InputSet) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (260, 600),
-        InputSet::Ref => (1_000, 2_400),
-    };
-    let buckets = 16i64;
+pub fn build_comp(input: InputSet, scale: Scale) -> Module {
+    let (epochs, fill) = sized(input, scale, (260, 600), (1_000, 2_400));
+    // Footprint scaling widens the bucket array (diluting collisions), which
+    // is the intended meaning of a larger working set.
+    let buckets = scale.words(16);
     let mut r = rng("bzip2_comp", input);
     let data = input_data(&mut r, epochs as usize, 0, 1 << 16);
 
@@ -111,11 +110,8 @@ pub fn build_comp(input: InputSet) -> Module {
 }
 
 /// Decompression (independent block decode).
-pub fn build_decomp(input: InputSet) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (200, 6_500),
-        InputSet::Ref => (700, 24_000),
-    };
+pub fn build_decomp(input: InputSet, scale: Scale) -> Module {
+    let (epochs, fill) = sized(input, scale, (200, 6_500), (700, 24_000));
     let mut r = rng("bzip2_decomp", input);
     let data = input_data(&mut r, epochs as usize, 0, 1 << 20);
 

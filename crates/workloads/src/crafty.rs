@@ -8,16 +8,13 @@
 
 use tls_ir::{BinOp, Module, ModuleBuilder};
 
-use crate::util::{churn, counted_loop, filler, input_data, rng, warm};
-use crate::InputSet;
+use crate::util::{churn, counted_loop, filler, input_data, rng, sized, warm};
+use crate::{InputSet, Scale};
 
 /// Build the workload.
-pub fn build(input: InputSet) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (220, 9_000),
-        InputSet::Ref => (750, 32_000),
-    };
-    let tt = 16i64;
+pub fn build(input: InputSet, scale: Scale) -> Module {
+    let (epochs, fill) = sized(input, scale, (220, 9_000), (750, 32_000));
+    let tt = scale.words(16);
     let mut r = rng("crafty", input);
     let positions = input_data(&mut r, epochs as usize, 0, 1 << 30);
 

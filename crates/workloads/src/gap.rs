@@ -9,15 +9,12 @@
 
 use tls_ir::{BinOp, Module, ModuleBuilder, HEAP_BASE};
 
-use crate::util::{churn, counted_loop, filler, input_data, rng, v, warm};
-use crate::InputSet;
+use crate::util::{churn, counted_loop, filler, input_data, rng, sized, v, warm};
+use crate::{InputSet, Scale};
 
 /// Build the workload.
-pub fn build(input: InputSet) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (240, 1_800),
-        InputSet::Ref => (900, 7_000),
-    };
+pub fn build(input: InputSet, scale: Scale) -> Module {
+    let (epochs, fill) = sized(input, scale, (240, 1_800), (900, 7_000));
     let mut r = rng("gap", input);
     let sizes = input_data(&mut r, epochs as usize, 2, 7);
 

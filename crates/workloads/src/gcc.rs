@@ -8,15 +8,12 @@
 
 use tls_ir::{BinOp, Module, ModuleBuilder};
 
-use crate::util::{churn, counted_loop, filler, input_data, rng, v, warm};
-use crate::InputSet;
+use crate::util::{churn, counted_loop, filler, input_data, rng, sized, v, warm};
+use crate::{InputSet, Scale};
 
 /// Build the workload.
-pub fn build(input: InputSet) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (220, 8_000),
-        InputSet::Ref => (800, 30_000),
-    };
+pub fn build(input: InputSet, scale: Scale) -> Module {
+    let (epochs, fill) = sized(input, scale, (220, 8_000), (800, 30_000));
     let mut r = rng("gcc", input);
     // Worklists allocate ids in bursts: the head of every 16-item window
     // synthesizes insns back to back, the rest follow the drawn data. The

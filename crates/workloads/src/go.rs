@@ -10,17 +10,14 @@
 
 use tls_ir::{BinOp, Module, ModuleBuilder};
 
-use crate::util::{churn, counted_loop, filler, input_data, rng, v, warm};
-use crate::InputSet;
+use crate::util::{churn, counted_loop, filler, input_data, rng, sized, v, warm};
+use crate::{InputSet, Scale};
 
 /// Build the workload.
-pub fn build(input: InputSet) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (200, 6_000),
-        InputSet::Ref => (700, 24_000),
-    };
-    let hist_size = 8i64;
-    let board = 361i64;
+pub fn build(input: InputSet, scale: Scale) -> Module {
+    let (epochs, fill) = sized(input, scale, (200, 6_000), (700, 24_000));
+    let hist_size = scale.words(8);
+    let board = scale.words(361);
     let mut r = rng("go", input);
     let moves = input_data(&mut r, epochs as usize, 0, 1_000_000);
     let board_init = input_data(&mut r, board as usize, 0, 3);
@@ -126,7 +123,7 @@ mod tests {
 
     #[test]
     fn history_dependence_is_moderately_frequent() {
-        let m = build(InputSet::Train);
+        let m = build(InputSet::Train, Scale::BASE);
         let profile = tls_profile::profile_module(&m).expect("profiles");
         let (_, lp) = profile
             .loops

@@ -21,25 +21,24 @@
 
 use tls_ir::{BinOp, Module, ModuleBuilder};
 
-use crate::util::{churn, counted_loop, filler, input_data, rng, v, warm};
-use crate::InputSet;
+use crate::util::{churn, counted_loop, filler, input_data, rng, sized, v, warm};
+use crate::{InputSet, Scale};
 
 /// Compression, effort level 1.
-pub fn build_comp1(input: InputSet) -> Module {
-    build_comp(input, 1, "gzip_comp1")
+pub fn build_comp1(input: InputSet, scale: Scale) -> Module {
+    build_comp(input, scale, 1, "gzip_comp1")
 }
 
 /// Compression, effort level 2 (longer chain walk per epoch).
-pub fn build_comp2(input: InputSet) -> Module {
-    build_comp(input, 2, "gzip_comp2")
+pub fn build_comp2(input: InputSet, scale: Scale) -> Module {
+    build_comp(input, scale, 2, "gzip_comp2")
 }
 
-fn build_comp(input: InputSet, effort: i64, tag: &str) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (240, 2_400),
-        InputSet::Ref => (900, 9_000),
-    };
-    let hsize = 64i64;
+fn build_comp(input: InputSet, scale: Scale, effort: i64, tag: &str) -> Module {
+    let (epochs, fill) = sized(input, scale, (240, 2_400), (900, 9_000));
+    // The hash table is probed through an `And` mask, so its footprint
+    // scaling must stay a power of two.
+    let hsize = scale.pow2_words(64);
     let mut r = rng(tag, input);
     // Input sensitivity: the train input only ever takes the literal path
     // (symbol % 100 < 70); the ref input takes the match path ~30% of the
@@ -171,13 +170,10 @@ fn build_comp(input: InputSet, effort: i64, tag: &str) -> Module {
 }
 
 /// Decompression: early-produced cursor, long independent copy.
-pub fn build_decomp(input: InputSet) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (220, 300),
-        InputSet::Ref => (800, 1_000),
-    };
-    let window = 256i64;
-    let out_size = 16_384i64;
+pub fn build_decomp(input: InputSet, scale: Scale) -> Module {
+    let (epochs, fill) = sized(input, scale, (220, 300), (800, 1_000));
+    let window = scale.words(256);
+    let out_size = scale.words(16_384);
     let mut r = rng("gzip_decomp", input);
     let lens = input_data(&mut r, epochs as usize, 4, 12);
     let srcs = input_data(&mut r, epochs as usize, 0, window - 16);
@@ -260,24 +256,24 @@ mod tests {
 
     #[test]
     fn train_input_never_takes_the_match_path() {
-        let m = build_comp1(InputSet::Train);
+        let m = build_comp1(InputSet::Train, Scale::BASE);
         let r = tls_profile::run_sequential(&m).expect("runs");
         assert_eq!(r.output[0], 0, "train input must keep longest_match at 0");
-        let m = build_comp1(InputSet::Ref);
+        let m = build_comp1(InputSet::Ref, Scale::BASE);
         let r = tls_profile::run_sequential(&m).expect("runs");
         assert!(r.output[0] > 0, "ref input exercises the match path");
     }
 
     #[test]
     fn comp2_does_more_work_than_comp1() {
-        let a = tls_profile::run_sequential(&build_comp1(InputSet::Ref)).expect("runs");
-        let b = tls_profile::run_sequential(&build_comp2(InputSet::Ref)).expect("runs");
+        let a = tls_profile::run_sequential(&build_comp1(InputSet::Ref, Scale::BASE)).expect("runs");
+        let b = tls_profile::run_sequential(&build_comp2(InputSet::Ref, Scale::BASE)).expect("runs");
         assert!(b.steps > a.steps);
     }
 
     #[test]
     fn decomp_cursor_dependence_is_every_epoch() {
-        let m = build_decomp(InputSet::Train);
+        let m = build_decomp(InputSet::Train, Scale::BASE);
         let profile = tls_profile::profile_module(&m).expect("profiles");
         let (_, lp) = profile
             .loops

@@ -7,14 +7,17 @@
 
 use tls_ir::{BinOp, Module, ModuleBuilder};
 
-use crate::util::{counted_loop, filler, input_data, rng, warm};
-use crate::InputSet;
+use crate::util::{counted_loop, filler, input_data, rng, sized, warm};
+use crate::{InputSet, Scale};
 
 /// Build the workload.
-pub fn build(input: InputSet) -> Module {
-    let (rows, cols, fill) = match input {
-        InputSet::Train => (60i64, 24i64, 120),
-        InputSet::Ref => (200i64, 32i64, 400),
+pub fn build(input: InputSet, scale: Scale) -> Module {
+    // Rows are the epoch dimension (iteration scale); columns are the
+    // per-row footprint (footprint scale).
+    let (rows, fill) = sized(input, scale, (60, 120), (200, 400));
+    let cols = match input {
+        InputSet::Train => scale.words(24),
+        InputSet::Ref => scale.words(32),
     };
     let pixels = (rows * cols) as usize;
     let mut r = rng("ijpeg", input);
@@ -80,7 +83,7 @@ mod tests {
 
     #[test]
     fn rows_are_independent() {
-        let m = build(InputSet::Train);
+        let m = build(InputSet::Train, Scale::BASE);
         let profile = tls_profile::profile_module(&m).expect("profiles");
         let (_, lp) = profile
             .loops

@@ -51,6 +51,77 @@ pub enum InputSet {
     Ref,
 }
 
+/// Size multipliers layered over an input set's base dimensions.
+///
+/// `iters` multiplies every iteration-like dimension (epoch counts, filler
+/// trip counts — region coverage is therefore scale-invariant), `footprint`
+/// multiplies the data-structure sizes (tables, pools, windows, grids).
+/// [`Scale::BASE`] (1×1) reproduces the historical hardcoded sizes exactly.
+///
+/// Scaling changes only constant operands and global-initializer lengths,
+/// never the instruction stream, so train/ref builds at *any* pair of
+/// scales still share static ids — which is what lets a base-scale train
+/// profile drive a scaled ref compilation (the paper's T bars, at scale).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Scale {
+    /// Iteration-count multiplier (≥ 1).
+    pub iters: u32,
+    /// Data-footprint multiplier (≥ 1).
+    pub footprint: u32,
+}
+
+impl Scale {
+    /// The historical sizes: 1× iterations, 1× footprint.
+    pub const BASE: Scale = Scale {
+        iters: 1,
+        footprint: 1,
+    };
+
+    /// A scale with both multipliers checked to be nonzero.
+    pub fn new(iters: u32, footprint: u32) -> Option<Scale> {
+        (iters > 0 && footprint > 0).then_some(Scale { iters, footprint })
+    }
+
+    /// Parse `"N"`, `"Nx"` or `"NxM"` (iterations×footprint): `"100x"` is
+    /// 100× iterations at 1× footprint, `"4x2"` is 4× iterations and 2×
+    /// footprint. Zero multipliers are rejected.
+    pub fn parse(s: &str) -> Option<Scale> {
+        let (i, f) = match s.split_once('x') {
+            None => (s, "1"),
+            Some((i, "")) => (i, "1"),
+            Some((i, f)) => (i, f),
+        };
+        Scale::new(i.parse().ok()?, f.parse().ok()?)
+    }
+
+    /// Canonical label (`"100x1"`), the inverse of [`Scale::parse`].
+    pub fn label(&self) -> String {
+        format!("{}x{}", self.iters, self.footprint)
+    }
+
+    /// Whether this is the 1×1 base scale.
+    pub fn is_base(&self) -> bool {
+        *self == Scale::BASE
+    }
+
+    /// An iteration dimension scaled by `iters`.
+    pub fn iter_count(&self, base: i64) -> i64 {
+        base * self.iters as i64
+    }
+
+    /// A footprint dimension scaled by `footprint`.
+    pub fn words(&self, base: i64) -> i64 {
+        base * self.footprint as i64
+    }
+
+    /// A footprint dimension that must stay a power of two (it is used as
+    /// an `And` mask): scaled by `footprint` rounded up to a power of two,
+    /// so 1× stays exact and any scaled size still masks correctly.
+    pub fn pow2_words(&self, base: i64) -> i64 {
+        base * i64::from(self.footprint.next_power_of_two())
+    }
+}
+
 /// A registered benchmark.
 #[derive(Clone, Copy, Debug)]
 pub struct Workload {
@@ -60,14 +131,19 @@ pub struct Workload {
     pub paper_name: &'static str,
     /// One-line description of the dependence pattern modeled.
     pub pattern: &'static str,
-    /// Build the program for an input set.
-    pub build: fn(InputSet) -> Module,
+    /// Build the program for an input set at a [`Scale`].
+    pub build: fn(InputSet, Scale) -> Module,
 }
 
 impl Workload {
-    /// Build this workload's module.
+    /// Build this workload's module at the base scale.
     pub fn module(&self, input: InputSet) -> Module {
-        (self.build)(input)
+        (self.build)(input, Scale::BASE)
+    }
+
+    /// Build this workload's module at an explicit scale.
+    pub fn module_scaled(&self, input: InputSet, scale: Scale) -> Module {
+        (self.build)(input, scale)
     }
 }
 
@@ -235,5 +311,61 @@ mod tests {
                 assert_eq!(fa.blocks.len(), fb.blocks.len(), "{}::{}", w.name, fa.name);
             }
         }
+    }
+
+    #[test]
+    fn scale_parses_and_labels() {
+        assert_eq!(Scale::parse("1"), Some(Scale::BASE));
+        assert_eq!(Scale::parse("100x"), Scale::new(100, 1));
+        assert_eq!(Scale::parse("4x2"), Scale::new(4, 2));
+        assert_eq!(Scale::parse("0x2"), None);
+        assert_eq!(Scale::parse("4x0"), None);
+        assert_eq!(Scale::parse("big"), None);
+        let s = Scale::parse("7x3").expect("parses");
+        assert_eq!(Scale::parse(&s.label()), Some(s));
+        assert_eq!(s.iter_count(10), 70);
+        assert_eq!(s.words(10), 30);
+        // Mask-safe footprint rounds up to a power of two (3 → 4).
+        assert_eq!(s.pow2_words(64), 256);
+        assert_eq!(Scale::BASE.pow2_words(64), 64);
+    }
+
+    #[test]
+    fn scaling_preserves_static_ids_and_structure() {
+        // Scale must change only constants and global-initializer lengths:
+        // the sid stream and CFG shape stay identical, which is what lets a
+        // base-scale train profile compile a scaled ref module.
+        let scaled = Scale::new(3, 2).expect("valid");
+        for w in all() {
+            let base = w.module(InputSet::Ref);
+            let big = w.module_scaled(InputSet::Ref, scaled);
+            assert_eq!(base.next_sid, big.next_sid, "{} sid streams differ", w.name);
+            assert_eq!(base.funcs.len(), big.funcs.len(), "{}", w.name);
+            for (fa, fb) in base.funcs.iter().zip(&big.funcs) {
+                assert_eq!(fa.blocks.len(), fb.blocks.len(), "{}::{}", w.name, fa.name);
+                for (ba, bb) in fa.blocks.iter().zip(&fb.blocks) {
+                    assert_eq!(ba.instrs.len(), bb.instrs.len(), "{}::{}", w.name, fa.name);
+                }
+            }
+            tls_ir::validate(&big).unwrap_or_else(|e| panic!("{} scaled invalid: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn scaled_builds_run_and_grow() {
+        // A 2× iteration scale roughly doubles the dynamic work; footprint
+        // scaling alone must not shrink it.
+        let w = by_name("mcf").expect("exists");
+        let base = tls_profile::run_sequential(&w.module(InputSet::Train)).expect("runs");
+        let big = tls_profile::run_sequential(
+            &w.module_scaled(InputSet::Train, Scale::new(2, 1).expect("valid")),
+        )
+        .expect("runs");
+        assert!(
+            big.steps > base.steps * 3 / 2,
+            "2x iters should grow work: {} vs {}",
+            big.steps,
+            base.steps
+        );
     }
 }

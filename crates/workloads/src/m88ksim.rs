@@ -16,15 +16,12 @@
 
 use tls_ir::{BinOp, Module, ModuleBuilder};
 
-use crate::util::{churn, counted_loop, filler, input_data, rng, v, warm};
-use crate::InputSet;
+use crate::util::{churn, counted_loop, filler, input_data, rng, sized, v, warm};
+use crate::{InputSet, Scale};
 
 /// Build the workload.
-pub fn build(input: InputSet) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (260, 1_000),
-        InputSet::Ref => (1_000, 4_000),
-    };
+pub fn build(input: InputSet, scale: Scale) -> Module {
+    let (epochs, fill) = sized(input, scale, (260, 1_000), (1_000, 4_000));
     let mut r = rng("m88ksim", input);
     let data = input_data(&mut r, epochs as usize, 1, 64);
 
@@ -32,7 +29,8 @@ pub fn build(input: InputSet) -> Module {
     // Both counters live in one line, together with a read-only mode word
     // (word 2): reading it puts the whole line in the epoch's read set, so
     // stores to either counter violate it — false sharing with *no* true
-    // dependence for the compiler to synchronize.
+    // dependence for the compiler to synchronize. Deliberately NOT scaled
+    // with footprint: the single shared line IS the pattern.
     let counters = mb.add_global("unit_counters", 3, vec![0, 0, 7]);
     let scratch = mb.add_global("scratch", epochs as u64, vec![]);
     let gdata = mb.add_global("trace", epochs as u64, data);
@@ -105,7 +103,7 @@ mod tests {
 
     #[test]
     fn counters_share_a_cache_line() {
-        let m = build(InputSet::Train);
+        let m = build(InputSet::Train, Scale::BASE);
         let g = m.global_by_name("unit_counters").expect("exists");
         let base = m.global(g).addr;
         assert_eq!(tls_ir::line_of(base), tls_ir::line_of(base + 1));
@@ -113,7 +111,7 @@ mod tests {
 
     #[test]
     fn true_dependences_have_distance_two() {
-        let m = build(InputSet::Train);
+        let m = build(InputSet::Train, Scale::BASE);
         let profile = tls_profile::profile_module(&m).expect("profiles");
         let (_, lp) = profile
             .loops

@@ -8,16 +8,15 @@
 
 use tls_ir::{BinOp, Module, ModuleBuilder};
 
-use crate::util::{churn, counted_loop, filler, input_data, rng, warm};
-use crate::InputSet;
+use crate::util::{churn, counted_loop, filler, input_data, rng, sized, warm};
+use crate::{InputSet, Scale};
 
 /// Build the workload.
-pub fn build(input: InputSet) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (260, 400),
-        InputSet::Ref => (1_000, 1_400),
-    };
-    let nodes = 12i64; // few nodes → recent-epoch collisions are common
+pub fn build(input: InputSet, scale: Scale) -> Module {
+    let (epochs, fill) = sized(input, scale, (260, 400), (1_000, 1_400));
+    // Few nodes → recent-epoch collisions are common; footprint scaling
+    // widens the network (and dilutes collisions) deliberately.
+    let nodes = scale.words(12);
     let mut r = rng("mcf", input);
     let srcs = input_data(&mut r, epochs as usize, 0, nodes);
     let dsts = input_data(&mut r, epochs as usize, 0, nodes);

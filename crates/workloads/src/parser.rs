@@ -17,16 +17,13 @@
 
 use tls_ir::{BinOp, Module, ModuleBuilder};
 
-use crate::util::{churn, counted_loop, filler, input_data, rng, v, warm};
-use crate::InputSet;
+use crate::util::{churn, counted_loop, filler, input_data, rng, sized, v, warm};
+use crate::{InputSet, Scale};
 
 /// Build the workload.
-pub fn build(input: InputSet) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (220, 2_600),
-        InputSet::Ref => (850, 10_000),
-    };
-    let pool = 64i64;
+pub fn build(input: InputSet, scale: Scale) -> Module {
+    let (epochs, fill) = sized(input, scale, (220, 2_600), (850, 10_000));
+    let pool = scale.words(64);
     let mut r = rng("parser", input);
     let data = input_data(&mut r, epochs as usize, 0, 1_000_000);
 
@@ -130,16 +127,16 @@ mod tests {
 
     #[test]
     fn runs_and_produces_stable_output() {
-        let m = build(InputSet::Train);
+        let m = build(InputSet::Train, Scale::BASE);
         let r = tls_profile::run_sequential(&m).expect("runs");
         assert_eq!(r.output.len(), 2);
-        let r2 = tls_profile::run_sequential(&build(InputSet::Train)).expect("runs");
+        let r2 = tls_profile::run_sequential(&build(InputSet::Train, Scale::BASE)).expect("runs");
         assert_eq!(r.output, r2.output);
     }
 
     #[test]
     fn free_list_dependence_is_frequent_and_distance_one() {
-        let m = build(InputSet::Train);
+        let m = build(InputSet::Train, Scale::BASE);
         let profile = tls_profile::profile_module(&m).expect("profiles");
         // Find the region loop (the one with the most iterations that is
         // not a filler: filler epochs are tiny).

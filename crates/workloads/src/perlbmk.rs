@@ -10,16 +10,13 @@
 
 use tls_ir::{BinOp, Module, ModuleBuilder};
 
-use crate::util::{churn, counted_loop, filler, input_data, rng, v, warm};
-use crate::InputSet;
+use crate::util::{churn, counted_loop, filler, input_data, rng, sized, v, warm};
+use crate::{InputSet, Scale};
 
 /// Build the workload.
-pub fn build(input: InputSet) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (240, 4_500),
-        InputSet::Ref => (900, 17_000),
-    };
-    let stack = 256i64;
+pub fn build(input: InputSet, scale: Scale) -> Module {
+    let (epochs, fill) = sized(input, scale, (240, 4_500), (900, 17_000));
+    let stack = scale.words(256);
     let mut r = rng("perlbmk", input);
     let ops = input_data(&mut r, epochs as usize, 0, 100);
 

@@ -12,15 +12,12 @@
 
 use tls_ir::{BinOp, Module, ModuleBuilder};
 
-use crate::util::{churn, counted_loop, filler, input_data, rng, v, warm};
-use crate::InputSet;
+use crate::util::{churn, counted_loop, filler, input_data, rng, sized, v, warm};
+use crate::{InputSet, Scale};
 
 /// Build the workload.
-pub fn build(input: InputSet) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (220, 5_500),
-        InputSet::Ref => (800, 20_000),
-    };
+pub fn build(input: InputSet, scale: Scale) -> Module {
+    let (epochs, fill) = sized(input, scale, (220, 5_500), (800, 20_000));
     let mut r = rng("twolf", input);
     let cells = input_data(&mut r, epochs as usize, 1, 10_000);
 
@@ -94,7 +91,7 @@ mod tests {
 
     #[test]
     fn best_cost_dependence_is_above_threshold_in_the_profile() {
-        let m = build(InputSet::Train);
+        let m = build(InputSet::Train, Scale::BASE);
         let profile = tls_profile::profile_module(&m).expect("profiles");
         let (_, lp) = profile
             .loops

@@ -13,7 +13,7 @@
 
 use tls_ir::{BinOp, BlockId, FuncBuilder, Operand, Var};
 
-use crate::InputSet;
+use crate::{InputSet, Scale};
 
 /// The deterministic splitmix64 generator shared with the IR-level random
 /// program generator. Same algorithm (and therefore the same stream) as the
@@ -36,6 +36,23 @@ pub(crate) fn rng(tag: &str, input: InputSet) -> Prng {
 /// `n` pseudo-random values in `lo..hi`.
 pub(crate) fn input_data(r: &mut Prng, n: usize, lo: i64, hi: i64) -> Vec<i64> {
     (0..n).map(|_| r.gen_range(lo, hi)).collect()
+}
+
+/// Select the `(epochs, fill)` base pair for `input` and apply the
+/// iteration multiplier to both — the one place every workload's
+/// iteration-like dimensions pass through, so no constructor carries a
+/// hardcoded dynamic size past this point.
+pub(crate) fn sized(
+    input: InputSet,
+    scale: Scale,
+    train: (i64, i64),
+    reference: (i64, i64),
+) -> (i64, i64) {
+    let (epochs, fill) = match input {
+        InputSet::Train => train,
+        InputSet::Ref => reference,
+    };
+    (scale.iter_count(epochs), scale.iter_count(fill))
 }
 
 /// Handles of a counted region loop under construction.

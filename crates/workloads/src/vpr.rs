@@ -11,16 +11,13 @@
 
 use tls_ir::{BinOp, Module, ModuleBuilder};
 
-use crate::util::{churn, counted_loop, filler, input_data, rng, warm};
-use crate::InputSet;
+use crate::util::{churn, counted_loop, filler, input_data, rng, sized, warm};
+use crate::{InputSet, Scale};
 
 /// Build the workload.
-pub fn build(input: InputSet) -> Module {
-    let (epochs, fill) = match input {
-        InputSet::Train => (240, 60),
-        InputSet::Ref => (900, 200),
-    };
-    let grid = 128i64;
+pub fn build(input: InputSet, scale: Scale) -> Module {
+    let (epochs, fill) = sized(input, scale, (240, 60), (900, 200));
+    let grid = scale.words(128);
     let mut r = rng("vpr", input);
     let costs = input_data(&mut r, grid as usize, 1, 100);
 
@@ -108,7 +105,7 @@ mod tests {
 
     #[test]
     fn rng_dependence_occurs_every_epoch() {
-        let m = build(InputSet::Train);
+        let m = build(InputSet::Train, Scale::BASE);
         let profile = tls_profile::profile_module(&m).expect("profiles");
         let (_, lp) = profile
             .loops

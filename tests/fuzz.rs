@@ -7,6 +7,7 @@
 use std::path::Path;
 
 use tls_repro::experiments::fuzz::{self, FuzzConfig};
+use tls_repro::ir::{GenConfig, GenFamily};
 
 /// 200 deterministic seeds, every mode, zero tolerated mismatches. Runs
 /// serially in well under a minute (the release campaign does 200 seeds in
@@ -25,6 +26,42 @@ fn smoke_corpus_is_clean() {
     assert!(report.seeds_with_regions >= 150, "{}", report.summary());
     assert!(report.seeds_with_sync_loads >= 50, "{}", report.summary());
     assert!(report.seeds_with_violations >= 20, "{}", report.summary());
+}
+
+/// Every adversarial scenario family stays architecturally oracle-equal
+/// across the full mode matrix: 10 deterministic seeds per family, zero
+/// tolerated mismatches, and the corpus must actually speculate.
+#[test]
+fn scenario_families_are_oracle_equal_across_all_modes() {
+    for family in GenFamily::ALL {
+        if family == GenFamily::Baseline {
+            continue; // covered (at 20x the depth) by smoke_corpus_is_clean
+        }
+        let cfg = FuzzConfig {
+            gen: GenConfig::for_family(family),
+            ..FuzzConfig::default()
+        };
+        let report = fuzz::run_fuzz(1, 10, &cfg, None);
+        let summaries: Vec<String> =
+            report.failures.iter().map(|f| f.failure.to_string()).collect();
+        assert!(
+            report.failures.is_empty(),
+            "{} family diverged from the oracle: {summaries:?}",
+            family.label()
+        );
+        assert!(
+            report.run_errors.is_empty(),
+            "{} family: worker errors {:?}",
+            family.label(),
+            report.run_errors
+        );
+        assert!(
+            report.seeds_with_regions >= 8,
+            "{} family barely speculates: {}",
+            family.label(),
+            report.summary()
+        );
+    }
 }
 
 /// The shrinker demo of the fault-injection self-test: with the

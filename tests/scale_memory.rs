@@ -1,0 +1,59 @@
+//! Peak-RSS guard for scaled runs (tier 1, Linux-only).
+//!
+//! A 100x-iteration run must not hold per-epoch state: epoch latencies go
+//! through the constant-memory `StreamingStats` sketch, oracles are built
+//! lazily (and not at all for the modes run here), and the `NullTracer`
+//! keeps event emission compiled out. If any of those regress to O(epochs)
+//! buffering, the process high-water mark blows past the ceiling.
+//!
+//! Lives in its own integration-test binary because `VmHWM` is
+//! process-wide: co-resident tests would inflate the measurement.
+
+#![cfg(target_os = "linux")]
+
+use tls_repro::experiments::{Harness, Mode, Scale};
+use tls_repro::sim::NullTracer;
+
+/// Peak resident-set size of this process in kB (`VmHWM`).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))?
+                .split_whitespace()
+                .nth(1)?
+                .parse()
+                .ok()
+        })
+        .expect("VmHWM readable on Linux")
+}
+
+#[test]
+fn hundredfold_scale_run_stays_under_memory_ceiling() {
+    let w = tls_repro::workloads::by_name("mcf").expect("mcf exists");
+    let scale = Scale::parse("quick:100x1").expect("scale parses");
+    let h = Harness::new(w, scale).expect("harness builds");
+    // `run` wraps the run in the debug conformance self-check, which
+    // records the full event stream — exactly the O(epochs) buffering this
+    // test must exclude. Drive the simulator directly with the no-op
+    // tracer instead.
+    let r = h
+        .run_traced(Mode::CompilerRef, &mut NullTracer)
+        .expect("scaled run completes");
+    let epochs = r.epoch_cycle_totals().count;
+    assert!(
+        epochs > 10_000,
+        "scaled run must commit a large epoch count (got {epochs})"
+    );
+    let kb = peak_rss_kb();
+    // Fixed ceiling with generous headroom over the ~60 MB a debug-build
+    // run of this size needs today; an O(epochs) regression at 100x scale
+    // (full event streams run to hundreds of MB) blows through it.
+    assert!(
+        kb < 512 * 1024,
+        "peak RSS {:.1} MB exceeds the 512 MB ceiling: per-epoch state is \
+         no longer constant-memory",
+        kb as f64 / 1024.0
+    );
+}
