@@ -13,12 +13,17 @@
 //! repro inject <bench> [--mode M] [--faults F] [--seed S] [--campaign K]
 //!              [--rate R] [--budget B] [--quick] [--scale S] [--jobs N]
 //!              [--out path] [--panic-plan K]
+//! repro metrics <bench> [--mode M] [--quick] [--scale S] [--out path]
+//!               [--prom path]
+//! repro bench [--quick] [--scale S] [--workloads a,b,c] [--jobs N]
+//!             [--rounds N] [--out path] [--check baseline.json]
+//!             [--tolerance P] [--handicap X]
 //!
 //! targets: fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 sweep report
-//!          all bench list run trace trace-check fuzz conform inject
-//! global flags: --verbose --quiet
+//!          all bench list run trace trace-check fuzz conform inject metrics
+//! global flags: --verbose --quiet --metrics path
 //! exit codes: 0 success, 2 usage, 3 simulation/internal error,
-//!             4 correctness-check failure
+//!             4 correctness-check failure, 5 performance regression
 //! ```
 //!
 //! `--quick` measures the train inputs (fast); the default measures ref.
@@ -37,7 +42,29 @@
 //! `--quiet` suppresses progress chatter and the per-target resource
 //! lines. By default every target reports one line of wall time and peak
 //! RSS (from `/proc/self/status`, so it reflects the process high-water
-//! mark) when it finishes.
+//! mark) when it finishes; the timings come from the hierarchical span
+//! registry in `tls_experiments::metrics`, which also underlies the
+//! global `--metrics path` flag: after any subcommand finishes
+//! (successfully or not), the full host-metrics snapshot — phase spans,
+//! campaign gauges, counters, peak RSS — is written to `path` as JSON.
+//!
+//! `metrics` runs one workload under one mode (default `C`) with the
+//! machine-counter bank enabled and prints the counters — instructions
+//! retired by class, cache hits/misses/evictions, write-buffer high-water
+//! marks, signal traffic, violations by cause, prediction hit rate — in
+//! deterministic row order. `--out` writes the same rows as JSON and
+//! `--prom` as Prometheus text exposition; both exports contain only
+//! simulated values, so they are byte-identical across hosts and `--jobs`
+//! settings.
+//!
+//! `bench` times the repro pipeline itself (see `tls_experiments::bench`):
+//! `--rounds N` (default 3) repeats each pass and reports the median
+//! round. `--check baseline.json` turns the run into a perf-regression
+//! gate: every workload whose simulated-instructions-per-second falls more
+//! than `--tolerance P` percent (default 10) below the committed baseline
+//! is reported and the driver exits 5. `--handicap X` divides the measured
+//! throughput by X before gating — the self-test knob CI uses to prove the
+//! gate trips.
 //!
 //! `trace` runs one workload under one mode (default `U`; see
 //! `Mode::from_label` for the letters) with event tracing enabled, prints
@@ -97,10 +124,10 @@
 //! complete with exactly that one worker error).
 
 use std::process::ExitCode;
-use std::time::Instant;
 
 use tls_experiments::{
-    attrib, bench, conform, figures, fuzz, inject, par, Harness, Mode, Scale, Table, MODES,
+    attrib, bench, conform, figures, fuzz, inject, metrics, par, Harness, Mode, Scale, Table,
+    MODES,
 };
 use tls_ir::{GenConfig, GenFamily};
 use tls_sim::{
@@ -126,6 +153,10 @@ enum CliError {
     /// A correctness check failed: fuzz property, conformance divergence,
     /// trace invariant, or campaign soundness (exit 4).
     Check(String),
+    /// The perf-regression gate tripped: throughput fell below the
+    /// committed baseline by more than the tolerance (exit 5). Distinct
+    /// from `Check` so CI can tell "wrong answer" from "slow answer".
+    Perf(String),
 }
 
 impl CliError {
@@ -139,6 +170,10 @@ impl CliError {
             CliError::Check(msg) => {
                 eprintln!("{msg}");
                 ExitCode::from(4)
+            }
+            CliError::Perf(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(5)
             }
         }
     }
@@ -158,10 +193,15 @@ fn usage() -> CliError {
          \x20      repro conform --fuzz [--seed S] [--seeds N] [--jobs N]\n\
          \x20      repro inject <bench> [--mode M] [--faults F] [--seed S] [--campaign K] \
          [--rate R] [--budget B] [--quick] [--scale S] [--jobs N] [--out path] [--panic-plan K]\n\
+         \x20      repro metrics <bench> [--mode M] [--quick] [--scale S] [--out path] \
+         [--prom path]\n\
+         \x20      repro bench [--quick] [--scale S] [--workloads a,b,c] [--jobs N] [--rounds N] \
+         [--out path] [--check baseline.json] [--tolerance P] [--handicap X]\n\
          \x20      --scale: quick | ref | NxM (N x iterations, M x footprint) | quick:NxM\n\
          \x20      --family: baseline | phase_shift | false_sharing | deep_clone | mixed_nests\n\
-         \x20      global flags: --verbose --quiet\n\
-         \x20      exit codes: 0 ok, 2 usage, 3 sim/internal error, 4 check failure"
+         \x20      global flags: --verbose --quiet --metrics path (host-metrics JSON snapshot)\n\
+         \x20      exit codes: 0 ok, 2 usage, 3 sim/internal error, 4 check failure, \
+         5 perf regression"
     );
     CliError::Usage
 }
@@ -174,38 +214,29 @@ fn parse_scale(s: &str) -> Result<Scale, CliError> {
     })
 }
 
-/// Peak resident-set size of this process in kB (`VmHWM` from
-/// `/proc/self/status`); `None` where procfs is unavailable.
-fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    status
-        .lines()
-        .find(|l| l.starts_with("VmHWM:"))?
-        .split_whitespace()
-        .nth(1)?
-        .parse()
-        .ok()
-}
-
-/// One-line wall-time + peak-RSS report for a finished target.
-fn report_resources(verbosity: Verbosity, label: &str, start: Instant) {
+/// One-line wall-time + peak-RSS report for a finished target. Consumes
+/// the target's [`metrics::Span`] guard: the line is read off the span
+/// (so the ad-hoc `--verbose` timing and the `--metrics` export can never
+/// disagree) and dropping it here records the phase into the registry.
+fn report_resources(verbosity: Verbosity, span: metrics::Span) {
     if verbosity == Verbosity::Quiet {
         return;
     }
-    let wall = start.elapsed().as_secs_f64();
-    match peak_rss_kb() {
+    let wall = span.elapsed_ms() / 1e3;
+    match metrics::peak_rss_kb() {
         Some(kb) => eprintln!(
-            "[{label}] wall {wall:.2} s, peak RSS {:.1} MB",
+            "[{}] wall {wall:.2} s, peak RSS {:.1} MB",
+            span.path(),
             kb as f64 / 1024.0
         ),
-        None => eprintln!("[{label}] wall {wall:.2} s"),
+        None => eprintln!("[{}] wall {wall:.2} s", span.path()),
     }
 }
 
 /// `repro run <bench>`: one workload across the mode matrix, with the
 /// streaming epoch-latency summary per mode.
 fn run_run_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
-    let start = Instant::now();
+    let span = metrics::span("run");
     let mut bench_name: Option<String> = None;
     let mut mode_label = String::from("all");
     let mut scale = Scale::Full;
@@ -308,18 +339,18 @@ fn run_run_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
                 "{{\"bench\":\"{bench_name}\",\"scale\":\"{}\",\"seq_cycles\":{seq_cycles},\
                  \"peak_rss_kb\":{},\"modes\":[{}]}}",
                 scale.label(),
-                peak_rss_kb().unwrap_or(0),
+                metrics::peak_rss_kb().unwrap_or(0),
                 rows.join(",")
             ),
         )?;
     }
-    report_resources(verbosity, "run", start);
+    report_resources(verbosity, span);
     Ok(())
 }
 
 /// `repro trace <bench>`: one traced run, timeline + attribution exports.
 fn run_trace_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
-    let start = Instant::now();
+    let span = metrics::span("trace");
     let mut bench_name: Option<String> = None;
     let mut mode_label = String::from("U");
     let mut scale = Scale::Full;
@@ -434,7 +465,7 @@ fn run_trace_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> 
         let json = attribution.to_json(&bench_name, &mode.label(), result.total_violations);
         write_out(&path, &json)?;
     }
-    report_resources(verbosity, "trace", start);
+    report_resources(verbosity, span);
     Ok(())
 }
 
@@ -454,7 +485,8 @@ fn run_trace_check_cmd(args: &[String]) -> Result<(), CliError> {
     }
 }
 
-fn run_fuzz_cmd(args: &[String]) -> Result<(), CliError> {
+fn run_fuzz_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
+    let span = metrics::span("fuzz");
     let mut seed: u64 = 1;
     let mut iters: u64 = 1000;
     let mut jobs: usize = 0;
@@ -560,6 +592,7 @@ fn run_fuzz_cmd(args: &[String]) -> Result<(), CliError> {
     for e in &report.run_errors {
         println!("  {e}");
     }
+    report_resources(verbosity, span);
     // With --panic-seed the deliberate worker death is the expected
     // outcome; anything else wrong with the workers is an internal error.
     let expected_errors = usize::from(cfg.panic_on_seed.is_some());
@@ -582,7 +615,7 @@ fn run_fuzz_cmd(args: &[String]) -> Result<(), CliError> {
 /// `repro conform`: lockstep conformance checking against the reference
 /// protocol model — one workload, or a fuzzing campaign with `--fuzz`.
 fn run_conform_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
-    let start = Instant::now();
+    let span = metrics::span("conform");
     let mut bench_name: Option<String> = None;
     let mut mode_label: Option<String> = None;
     let mut scale = Scale::Full;
@@ -637,7 +670,7 @@ fn run_conform_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError
         for e in &outcome.errors {
             println!("  {e}");
         }
-        report_resources(verbosity, "conform", start);
+        report_resources(verbosity, span);
         if !outcome.errors.is_empty() {
             return Err(CliError::Sim(format!(
                 "{} conformance worker(s) died",
@@ -678,7 +711,7 @@ fn run_conform_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError
     match conform::conform_bench(&bench_name, mode_label.as_deref(), scale) {
         Ok(report) => {
             println!("{}", report.summary());
-            report_resources(verbosity, "conform", start);
+            report_resources(verbosity, span);
             Ok(())
         }
         Err(e) => Err(CliError::Check(e)),
@@ -688,7 +721,7 @@ fn run_conform_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError
 /// `repro inject <bench>`: a seeded fault-injection campaign with the
 /// per-fault-class degradation report.
 fn run_inject_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
-    let start = Instant::now();
+    let span = metrics::span("inject");
     let mut bench_name: Option<String> = None;
     let mut mode_label = String::from("C");
     let mut scale = Scale::Full;
@@ -784,7 +817,7 @@ fn run_inject_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError>
     if let Some(path) = out {
         write_out(&path, &report.to_json())?;
     }
-    report_resources(verbosity, "inject", start);
+    report_resources(verbosity, span);
     // With --panic-plan the deliberate worker death is the expected
     // outcome; anything else wrong with the workers is an internal error.
     let expected_errors = usize::from(cfg.panic_on_plan.is_some());
@@ -795,6 +828,224 @@ fn run_inject_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError>
         )));
     }
     report.sound().map_err(CliError::Check)
+}
+
+/// `repro metrics <bench>`: one counted run, machine counters printed in
+/// deterministic row order, optional JSON / Prometheus exports.
+fn run_metrics_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
+    let span = metrics::span("metrics");
+    let mut bench_name: Option<String> = None;
+    let mut mode_label = String::from("C");
+    let mut scale = Scale::Full;
+    let mut out: Option<String> = None;
+    let mut prom: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => match it.next() {
+                Some(m) => mode_label = m.clone(),
+                None => return Err(usage()),
+            },
+            "--quick" => scale = Scale::Quick,
+            "--scale" => match it.next() {
+                Some(s) => scale = parse_scale(s)?,
+                None => return Err(usage()),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return Err(usage()),
+            },
+            "--prom" => match it.next() {
+                Some(p) => prom = Some(p.clone()),
+                None => return Err(usage()),
+            },
+            name if bench_name.is_none() && !name.starts_with('-') => {
+                bench_name = Some(name.to_string());
+            }
+            _ => return Err(usage()),
+        }
+    }
+    let Some(bench_name) = bench_name else {
+        return Err(usage());
+    };
+    let workload = tls_workloads::by_name(&bench_name)
+        .ok_or_else(|| CliError::Sim(format!("unknown workload `{bench_name}`")))?;
+    let mode = Mode::from_label(&mode_label)
+        .ok_or_else(|| CliError::Sim(format!("unknown mode `{mode_label}`")))?;
+    if verbosity > Verbosity::Quiet {
+        eprintln!(
+            "counting {bench_name} under mode {} at scale {}...",
+            mode.label(),
+            scale.label()
+        );
+    }
+    let harness = Harness::new(workload, scale)
+        .map_err(|e| CliError::Sim(format!("failed to prepare {bench_name}: {e}")))?;
+    let result = harness
+        .run_counted(mode)
+        .map_err(|e| CliError::Sim(format!("{bench_name}/{}: {e}", mode.label())))?;
+    let counters = result
+        .counters
+        .as_ref()
+        .ok_or_else(|| CliError::Sim("counted run produced no counter bank".into()))?;
+    println!(
+        "{bench_name}/{} @ {}: {} cycles, {} instructions",
+        mode.label(),
+        scale.label(),
+        result.total_cycles,
+        result.instructions
+    );
+    for (name, v) in counters.rows() {
+        println!("  {name:<28} {v:>14}");
+    }
+    println!(
+        "  {:<28} {:>13.1}%\n  {:<28} {:>13.1}%",
+        "derived.l1_hit_rate",
+        counters.l1_hit_rate() * 100.0,
+        "derived.prediction_hit_rate",
+        counters.prediction_hit_rate() * 100.0
+    );
+    if let Some(path) = out {
+        write_out(
+            &path,
+            &metrics::counters_json(&bench_name, &mode.label(), &scale.label(), counters),
+        )?;
+    }
+    if let Some(path) = prom {
+        write_out(&path, &metrics::counters_prometheus(&bench_name, &mode.label(), counters))?;
+    }
+    report_resources(verbosity, span);
+    Ok(())
+}
+
+/// `repro bench`: time the pipeline (median of `--rounds`), optionally
+/// gate against a committed baseline with `--check`.
+fn run_bench_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
+    let span = metrics::span("bench");
+    let mut scale = Scale::Full;
+    let mut filter: Option<Vec<String>> = None;
+    let mut jobs: usize = 0;
+    let mut rounds: usize = 3;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut tolerance: f64 = 10.0;
+    let mut handicap: f64 = 1.0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--scale" => match it.next() {
+                Some(s) => scale = parse_scale(s)?,
+                None => return Err(usage()),
+            },
+            "--workloads" => match it.next() {
+                Some(list) => filter = Some(list.split(',').map(str::to_string).collect()),
+                None => return Err(usage()),
+            },
+            "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return Err(usage()),
+            },
+            "--rounds" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => rounds = n,
+                None => return Err(usage()),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return Err(usage()),
+            },
+            "--check" => match it.next() {
+                Some(p) => check = Some(p.clone()),
+                None => return Err(usage()),
+            },
+            "--tolerance" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(p) => tolerance = p,
+                None => return Err(usage()),
+            },
+            "--handicap" => match it.next().and_then(|x| x.parse().ok()) {
+                Some(x) => handicap = x,
+                None => return Err(usage()),
+            },
+            _ => return Err(usage()),
+        }
+    }
+    let workloads: Vec<Workload> = match &filter {
+        None => tls_workloads::all(),
+        Some(names) => {
+            let mut ws = Vec::new();
+            for n in names {
+                match tls_workloads::by_name(n) {
+                    Some(w) => ws.push(w),
+                    None => return Err(CliError::Sim(format!("unknown workload `{n}`"))),
+                }
+            }
+            ws
+        }
+    };
+    if verbosity > Verbosity::Quiet {
+        eprintln!(
+            "benchmarking the pipeline on {} workload(s) at {:?} scale \
+             ({} round(s), serial pass then parallel)...",
+            workloads.len(),
+            scale,
+            rounds.max(1)
+        );
+    }
+    let mut report = bench::run_bench(&workloads, scale, jobs, rounds)
+        .map_err(|e| CliError::Sim(format!("bench failed: {e}")))?;
+    if handicap != 1.0 {
+        eprintln!("handicapping throughput by {handicap}x (gate self-test)");
+        report.handicap(handicap);
+    }
+    println!(
+        "serial {:.1} ms, parallel {:.1} ms ({} jobs, {} cores): speedup {:.2}x \
+         (median of {} round(s))",
+        report.serial_wall_ms,
+        report.parallel_wall_ms,
+        report.jobs,
+        report.host_cores,
+        report.speedup,
+        report.rounds
+    );
+    println!(
+        "tracing overhead: null {:.0} instr/s vs counting {:.0} instr/s ({:+.2}%)",
+        report.null_tracer_ips, report.counting_tracer_ips, report.tracing_overhead_pct
+    );
+    println!(
+        "counter overhead: null {:.0} instr/s vs counted {:.0} instr/s ({:+.2}%)",
+        report.null_tracer_ips, report.counters_ips, report.counters_overhead_pct
+    );
+    // A gate run does not overwrite the committed baseline unless asked:
+    // without --check the report lands at --out (default BENCH_repro.json);
+    // with --check it is only written when --out names a path explicitly.
+    match (&check, &out) {
+        (Some(_), None) => {}
+        (_, path) => {
+            write_out(path.as_deref().unwrap_or("BENCH_repro.json"), &report.to_json())?;
+        }
+    }
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| CliError::Sim(format!("failed to read {baseline_path}: {e}")))?;
+        let regressions = bench::check_report(&report, &baseline, tolerance)
+            .map_err(|e| CliError::Sim(format!("perf gate: {e}")))?;
+        if regressions.is_empty() {
+            println!(
+                "perf gate: ok — within {tolerance}% of {baseline_path} on every compared figure"
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("perf regression: {r}");
+            }
+            report_resources(verbosity, span);
+            return Err(CliError::Perf(format!(
+                "{} figure(s) regressed beyond {tolerance}% of {baseline_path}",
+                regressions.len()
+            )));
+        }
+    }
+    report_resources(verbosity, span);
+    Ok(())
 }
 
 fn write_out(path: &str, contents: &str) -> Result<(), CliError> {
@@ -809,7 +1060,6 @@ fn run_figures(
     args: &[String],
     verbosity: Verbosity,
 ) -> Result<(), CliError> {
-    let start = Instant::now();
     let mut scale = Scale::Full;
     let mut filter: Option<Vec<String>> = None;
     let mut jobs: usize = 0; // 0 = one worker per CPU
@@ -846,7 +1096,7 @@ fn run_figures(
         }
     }
     par::set_jobs(jobs);
-    if target != "all" && target != "bench" && !figures::TARGETS.contains(&target) {
+    if target != "all" && !figures::TARGETS.contains(&target) {
         return Err(usage());
     }
     let workloads: Vec<Workload> = match &filter {
@@ -863,36 +1113,6 @@ fn run_figures(
         }
     };
 
-    if target == "bench" {
-        if verbosity > Verbosity::Quiet {
-            eprintln!(
-                "benchmarking the pipeline on {} workload(s) at {:?} scale \
-                 (serial pass, then parallel)...",
-                workloads.len(),
-                scale
-            );
-        }
-        let report = bench::run_bench(&workloads, scale, jobs)
-            .map_err(|e| CliError::Sim(format!("bench failed: {e}")))?;
-        println!(
-            "serial {:.1} ms, parallel {:.1} ms ({} jobs, {} cores): speedup {:.2}x",
-            report.serial_wall_ms,
-            report.parallel_wall_ms,
-            report.jobs,
-            report.host_cores,
-            report.speedup
-        );
-        println!(
-            "tracing overhead: null {:.0} instr/s vs counting {:.0} instr/s ({:+.2}%)",
-            report.null_tracer_ips,
-            report.counting_tracer_ips,
-            report.tracing_overhead_pct
-        );
-        write_out(out.as_deref().unwrap_or("BENCH_repro.json"), &report.to_json())?;
-        report_resources(verbosity, "bench", start);
-        return Ok(());
-    }
-
     if verbosity > Verbosity::Quiet {
         eprintln!(
             "preparing {} workload(s) at {:?} scale (compile + profile + sequential baseline)...",
@@ -905,9 +1125,10 @@ fn run_figures(
             }
         }
     }
+    let prepare_span = metrics::span("prepare");
     let harnesses = Harness::prepare_all(&workloads, scale)
         .map_err(|e| CliError::Sim(format!("failed to prepare workloads: {e}")))?;
-    report_resources(verbosity, "prepare", start);
+    report_resources(verbosity, prepare_span);
 
     let targets: Vec<&str> = if target == "all" {
         figures::TARGETS.to_vec()
@@ -919,7 +1140,7 @@ fn run_figures(
     // targets still render, so one bad target cannot hide the others.
     let mut failed: Vec<String> = Vec::new();
     for t in targets {
-        let t_start = Instant::now();
+        let t_span = metrics::span(t);
         let Some(table) = figures::by_name(t, &harnesses) else {
             return Err(usage());
         };
@@ -927,7 +1148,7 @@ fn run_figures(
             Ok(table) => {
                 println!("{table}");
                 tables.push(table);
-                report_resources(verbosity, t, t_start);
+                report_resources(verbosity, t_span);
             }
             Err(e) => {
                 eprintln!("{t} failed: {e}");
@@ -952,24 +1173,29 @@ fn run_figures(
 
 fn real_main() -> Result<(), CliError> {
     let mut verbosity = Verbosity::Normal;
-    let args: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| match a.as_str() {
-            "--verbose" => {
-                verbosity = Verbosity::Verbose;
-                false
+    let mut metrics_out: Option<String> = None;
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--verbose" => verbosity = Verbosity::Verbose,
+            "--quiet" => verbosity = Verbosity::Quiet,
+            "--metrics" => {
+                i += 1;
+                match raw.get(i) {
+                    Some(p) => metrics_out = Some(p.clone()),
+                    None => return Err(usage()),
+                }
             }
-            "--quiet" => {
-                verbosity = Verbosity::Quiet;
-                false
-            }
-            _ => true,
-        })
-        .collect();
+            _ => args.push(raw[i].clone()),
+        }
+        i += 1;
+    }
     let Some(target) = args.first().cloned() else {
         return Err(usage());
     };
-    match target.as_str() {
+    let result = match target.as_str() {
         "list" => {
             for w in tls_workloads::all() {
                 println!("{:<14} {:<20} {}", w.name, w.paper_name, w.pattern);
@@ -977,13 +1203,25 @@ fn real_main() -> Result<(), CliError> {
             Ok(())
         }
         "run" => run_run_cmd(&args[1..], verbosity),
-        "fuzz" => run_fuzz_cmd(&args[1..]),
+        "fuzz" => run_fuzz_cmd(&args[1..], verbosity),
         "conform" => run_conform_cmd(&args[1..], verbosity),
         "inject" => run_inject_cmd(&args[1..], verbosity),
         "trace" => run_trace_cmd(&args[1..], verbosity),
         "trace-check" => run_trace_check_cmd(&args[1..]),
+        "metrics" => run_metrics_cmd(&args[1..], verbosity),
+        "bench" => run_bench_cmd(&args[1..], verbosity),
         t => run_figures(t, &args[1..], verbosity),
+    };
+    // The host-metrics snapshot is written even when the subcommand failed
+    // (a failing campaign's phase timings are exactly what one wants to
+    // see), but an export error never masks the subcommand's own verdict.
+    if let Some(path) = metrics_out {
+        let wrote = write_out(&path, &metrics::snapshot().to_json());
+        if result.is_ok() {
+            wrote?;
+        }
     }
+    result
 }
 
 fn main() -> ExitCode {

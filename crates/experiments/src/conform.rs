@@ -120,6 +120,7 @@ impl ConformFuzzOutcome {
 /// remaining seeds still run, so one bad seed cannot mask the rest of the
 /// campaign.
 pub fn conform_fuzz(seed0: u64, seeds: u64, cfg: &FuzzConfig) -> ConformFuzzOutcome {
+    let campaign = std::time::Instant::now();
     let per_seed = par::par_map_isolated(
         (0..seeds).map(|i| seed0 + i).collect::<Vec<u64>>(),
         std::time::Duration::from_secs(300),
@@ -137,6 +138,10 @@ pub fn conform_fuzz(seed0: u64, seeds: u64, cfg: &FuzzConfig) -> ConformFuzzOutc
             Err(e) => out.errors.push(e),
         }
     }
+    crate::metrics::set_gauge(
+        "conform.seeds_per_sec",
+        seeds as f64 / campaign.elapsed().as_secs_f64().max(1e-9),
+    );
     out
 }
 

@@ -713,6 +713,10 @@ pub fn run_fuzz_resumable(
         ..FuzzReport::default()
     };
     let checkpoint = |j: &Journal| {
+        // Journal progress doubles as the campaign's coarse progress gauge
+        // (`--metrics`), whether or not a journal file is being written.
+        crate::metrics::set_gauge("fuzz.journal.done", j.done as f64);
+        crate::metrics::set_gauge("fuzz.journal.total", j.iters as f64);
         if let Some(path) = &journal_path {
             let write = path
                 .parent()
@@ -759,16 +763,22 @@ pub fn run_fuzz_resumable(
             }
         }
     };
+    let campaign = std::time::Instant::now();
     if !retry.is_empty() {
         process(&retry, &mut j, &mut report);
         checkpoint(&j);
     }
     let remaining: Vec<u64> = (j.done..iters).map(|i| seed0.wrapping_add(i)).collect();
+    let checked = (retry.len() + remaining.len()) as f64;
     for chunk in remaining.chunks(JOURNAL_CHUNK) {
         process(chunk, &mut j, &mut report);
         j.done += chunk.len() as u64;
         checkpoint(&j);
     }
+    crate::metrics::set_gauge(
+        "fuzz.seeds_per_sec",
+        checked / campaign.elapsed().as_secs_f64().max(1e-9),
+    );
     Ok(report)
 }
 

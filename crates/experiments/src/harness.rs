@@ -8,10 +8,12 @@ use std::sync::OnceLock;
 use tls_core::{compile_all, loads_above_threshold, CompilationSet, CompileError, CompileOptions};
 use tls_profile::{record_oracle, ExecError, ValueOracle};
 use tls_sim::{
-    check_conformance, Machine, ModelConfig, NullTracer, OracleSel, RecordingTracer, SimConfig,
-    SimError, SimResult, SyncLoadPolicy, Tracer,
+    check_conformance, CounterSink, Machine, MachineCounters, ModelConfig, NullCounters,
+    NullTracer, OracleSel, RecordingTracer, SimConfig, SimError, SimResult, SyncLoadPolicy, Tracer,
 };
 use tls_workloads::{InputSet, Workload};
+
+use crate::metrics;
 
 /// How big a run to perform.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -398,12 +400,20 @@ impl Harness {
         train: Option<&tls_ir::Module>,
         opts: &CompileOptions,
     ) -> Result<Self, ExperimentError> {
-        let set_c = compile_all(measure, measure, opts)?;
-        let set_t = match train {
-            None => set_c.clone(),
-            Some(t) => compile_all(measure, t, opts)?,
+        let _prep = metrics::span("prep");
+        let (set_c, set_t) = {
+            let _compile = metrics::span("compile");
+            let set_c = compile_all(measure, measure, opts)?;
+            let set_t = match train {
+                None => set_c.clone(),
+                Some(t) => compile_all(measure, t, opts)?,
+            };
+            (set_c, set_t)
         };
-        let seq = Machine::new(&set_c.seq, SimConfig::sequential()).run()?;
+        let seq = {
+            let _baseline = metrics::span("baseline");
+            Machine::new(&set_c.seq, SimConfig::sequential()).run()?
+        };
         let scratch_end = [&set_c.unsync, &set_c.synced, &set_t.synced]
             .iter()
             .map(|m| m.globals_end)
@@ -495,12 +505,43 @@ impl Harness {
         mode: Mode,
         tracer: &mut T,
     ) -> Result<SimResult, ExperimentError> {
+        self.run_instrumented(mode, tracer, &mut NullCounters)
+    }
+
+    /// Like [`Harness::run`], but with machine counters enabled: the result
+    /// carries a populated [`tls_sim::MachineCounters`] bank. Counting is
+    /// observational — timing and architectural state are identical to
+    /// [`Harness::run`]'s.
+    ///
+    /// # Errors
+    /// As [`Harness::run`].
+    pub fn run_counted(&self, mode: Mode) -> Result<SimResult, ExperimentError> {
+        self.run_instrumented(mode, &mut NullTracer, &mut MachineCounters::default())
+    }
+
+    /// The fully general entry point: stream trace events into `tracer`
+    /// *and* machine-counter increments into `counters` (either side can be
+    /// the null sink). Neither instrument changes simulated timing.
+    ///
+    /// # Errors
+    /// Propagates simulation failures; returns
+    /// [`ExperimentError::WrongOutput`] if the TLS run diverges.
+    pub fn run_instrumented<T: Tracer, C: CounterSink>(
+        &self,
+        mode: Mode,
+        tracer: &mut T,
+        counters: &mut C,
+    ) -> Result<SimResult, ExperimentError> {
         let (module, cfg, which) = self.resolve(mode);
         let machine = match self.oracle(which)? {
             Some(o) => Machine::with_oracle(module, cfg, o),
             None => Machine::new(module, cfg),
         };
-        let result = machine.run_traced(tracer)?;
+        let result = {
+            let _sim = metrics::span("sim");
+            machine.run_instrumented(tracer, counters)?
+        };
+        let _check = metrics::span("check");
         if let Some(detail) = self.check(&result) {
             return Err(ExperimentError::WrongOutput {
                 workload: self.name.clone(),
@@ -557,7 +598,10 @@ impl Harness {
             OracleUse::Unsync => (&self.oracle_u, &self.set_c.unsync),
             OracleUse::Synced => (&self.oracle_c, &self.set_c.synced),
         };
-        slot.get_or_init(|| record_oracle(module))
+        slot.get_or_init(|| {
+            let _oracle = metrics::span("oracle");
+            record_oracle(module)
+        })
             .as_ref()
             .map(Some)
             .map_err(|e| ExperimentError::Oracle(e.clone()))

@@ -419,6 +419,7 @@ pub fn run_campaign(
     plans: u64,
     cfg: &InjectConfig,
 ) -> Result<DegradationReport, ExperimentError> {
+    let campaign = std::time::Instant::now();
     let baseline = h.run_traced(mode, &mut NullTracer)?;
     let classes = cfg.partition.classes();
     let items: Vec<(u64, FaultClass)> = (0..plans)
@@ -449,6 +450,10 @@ pub fn run_campaign(
             Err(e) => report.errors.push(e),
         }
     }
+    crate::metrics::set_gauge(
+        "inject.plans_per_sec",
+        plans as f64 / campaign.elapsed().as_secs_f64().max(1e-9),
+    );
     Ok(report)
 }
 

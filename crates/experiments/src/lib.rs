@@ -35,6 +35,7 @@ pub mod figures;
 pub mod fuzz;
 mod harness;
 pub mod inject;
+pub mod metrics;
 pub mod par;
 mod report;
 

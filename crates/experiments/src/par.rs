@@ -185,12 +185,26 @@ where
             });
         }
         // Watchdog: warn once per item running past the soft deadline,
-        // until every item has completed.
+        // until every item has completed. Each poll doubles as the
+        // campaign's liveness heartbeat: worker occupancy and progress are
+        // published to the metrics registry for `--metrics` exports.
         let active_ref = &active;
         let completed_ref = &completed;
         s.spawn(move || {
             let mut warned = vec![false; n];
-            while completed_ref.load(Ordering::Relaxed) < n {
+            crate::metrics::set_gauge("par.items.total", n as f64);
+            loop {
+                let done = completed_ref.load(Ordering::Relaxed);
+                let busy = active_ref
+                    .iter()
+                    .filter(|s| s.lock().expect("active lock").is_some())
+                    .count();
+                crate::metrics::set_gauge("par.items.completed", done as f64);
+                crate::metrics::set_gauge("par.workers.active", busy as f64);
+                crate::metrics::add_counter("par.watchdog.ticks", 1);
+                if done >= n {
+                    break;
+                }
                 std::thread::sleep(Duration::from_millis(50));
                 for slot in active_ref {
                     if let Some((i, lbl, started)) = slot.lock().expect("active lock").as_ref() {

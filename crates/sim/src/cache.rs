@@ -8,6 +8,7 @@
 use tls_ir::line_of;
 
 use crate::config::SimConfig;
+use crate::counters::MemLevel;
 
 /// One set-associative tag array with LRU replacement.
 #[derive(Clone, Debug)]
@@ -131,6 +132,20 @@ impl MemSystem {
             (self.l2_lat, evicted)
         } else {
             (self.mem_lat, evicted)
+        }
+    }
+
+    /// The hierarchy level that served an access of latency `lat` (as
+    /// returned by [`MemSystem::access`]). Counter classification only; if
+    /// a config gives two levels identical latencies the faster one wins.
+    #[inline]
+    pub fn level_of(&self, lat: u64) -> MemLevel {
+        if lat == self.l1_lat {
+            MemLevel::L1
+        } else if lat == self.l2_lat {
+            MemLevel::L2
+        } else {
+            MemLevel::Mem
         }
     }
 

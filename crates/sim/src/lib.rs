@@ -30,6 +30,7 @@
 
 mod cache;
 mod config;
+mod counters;
 mod events;
 mod hwsync;
 pub mod inject;
@@ -42,6 +43,7 @@ mod trace;
 
 pub use cache::{MemSystem, SetAssocCache};
 pub use config::{OracleSel, SimConfig, SyncLoadPolicy};
+pub use counters::{violation_index, CounterSink, MachineCounters, MemLevel, NullCounters, OpClass};
 pub use events::{NullTracer, SignalKind, TraceEvent, Tracer, ViolationKind, WaitKind};
 pub use hwsync::{ValuePredictor, ViolationTable};
 pub use inject::{FaultClass, FaultPlan, FaultSummary};

@@ -31,6 +31,7 @@ use tls_profile::{Memory, OracleKey, ValueOracle};
 
 use crate::cache::MemSystem;
 use crate::config::{OracleSel, SimConfig, SyncLoadPolicy};
+use crate::counters::{CounterSink, MachineCounters, NullCounters, OpClass};
 use crate::events::{NullTracer, SignalKind, TraceEvent, Tracer, ViolationKind, WaitKind};
 use crate::hwsync::{ValuePredictor, ViolationTable};
 use crate::inject::{EagerFault, FaultClass, SignalFault, CORRUPT_ADDR_XOR};
@@ -354,7 +355,7 @@ impl<'m> Machine<'m> {
     /// # Errors
     /// See [`SimError`].
     pub fn run(self) -> Result<SimResult, SimError> {
-        self.run_traced(&mut NullTracer)
+        self.run_instrumented(&mut NullTracer, &mut NullCounters)
     }
 
     /// Like [`Machine::run`], streaming typed [`TraceEvent`]s to `tracer`.
@@ -366,7 +367,33 @@ impl<'m> Machine<'m> {
     ///
     /// # Errors
     /// See [`SimError`].
-    pub fn run_traced<T: Tracer>(mut self, tracer: &mut T) -> Result<SimResult, SimError> {
+    pub fn run_traced<T: Tracer>(self, tracer: &mut T) -> Result<SimResult, SimError> {
+        self.run_instrumented(tracer, &mut NullCounters)
+    }
+
+    /// Like [`Machine::run`], maintaining a [`MachineCounters`] bank that
+    /// is surfaced in [`SimResult::counters`]. Counting is observational
+    /// only: timing, outputs and statistics are identical to
+    /// [`Machine::run`].
+    ///
+    /// # Errors
+    /// See [`SimError`].
+    pub fn run_counted(self) -> Result<SimResult, SimError> {
+        self.run_instrumented(&mut NullTracer, &mut MachineCounters::default())
+    }
+
+    /// The fully-general driver: stream events to `tracer` and counts to
+    /// `counters`, each statically dispatched ([`NullTracer`] /
+    /// [`NullCounters`] compile their hooks out). An enabled counter sink
+    /// publishes its final bank into [`SimResult::counters`].
+    ///
+    /// # Errors
+    /// See [`SimError`].
+    pub fn run_instrumented<T: Tracer, C: CounterSink>(
+        mut self,
+        tracer: &mut T,
+        counters: &mut C,
+    ) -> Result<SimResult, SimError> {
         let entry = self.module.func(self.module.entry);
         assert_eq!(entry.num_params, 0, "entry function must take no parameters");
         let mut frames = vec![Frame::new(self.module, self.module.entry, 0)];
@@ -383,9 +410,12 @@ impl<'m> Machine<'m> {
             if frame.idx < self.code.lens[cb] as usize {
                 let instr = self.code.instrs[self.code.starts[cb] as usize + frame.idx];
                 frame.idx += 1;
-                self.exec_seq_instr(instr, &mut frames, &mut timer, seq_core, &seq_regions)?;
+                self.exec_seq_instr(instr, &mut frames, &mut timer, seq_core, &seq_regions, counters)?;
             } else {
                 let term = self.code.terms[cb];
+                if C::ENABLED {
+                    counters.retire(OpClass::of_term(&term));
+                }
                 match term {
                     Terminator::Jump(to) => {
                         self.seq_transfer(
@@ -395,6 +425,7 @@ impl<'m> Machine<'m> {
                             seq_core,
                             &mut seq_regions,
                             tracer,
+                            counters,
                         )?;
                     }
                     Terminator::Br { cond, t, f } => {
@@ -414,6 +445,7 @@ impl<'m> Machine<'m> {
                             seq_core,
                             &mut seq_regions,
                             tracer,
+                            counters,
                         )?;
                     }
                     Terminator::Ret(v) => {
@@ -450,6 +482,9 @@ impl<'m> Machine<'m> {
         if let Some(plan) = &self.config.inject {
             self.result.faults = plan.summary();
         }
+        if C::ENABLED {
+            counters.publish(&mut self.result);
+        }
         Ok(self.result)
     }
 
@@ -464,14 +499,18 @@ impl<'m> Machine<'m> {
     }
 
     /// Execute one sequential-mode instruction.
-    fn exec_seq_instr(
+    fn exec_seq_instr<C: CounterSink>(
         &mut self,
         instr: &Instr,
         frames: &mut Vec<Frame>,
         timer: &mut CoreTimer,
         core: usize,
         seq_regions: &[SeqRegion],
+        counters: &mut C,
     ) -> Result<(), SimError> {
+        if C::ENABLED {
+            counters.retire(OpClass::of(instr));
+        }
         let frame = frames.last_mut().expect("nonempty");
         match instr {
             Instr::Assign { dst, src } => {
@@ -493,6 +532,9 @@ impl<'m> Machine<'m> {
                 let (a, r) = self.eval(frame, *addr);
                 let a = a.wrapping_add(*off);
                 let lat = self.caches.access(core, a);
+                if C::ENABLED {
+                    counters.mem_access(self.caches.level_of(lat));
+                }
                 let (issue, complete) = timer.issue(r, lat);
                 self.time = issue;
                 frame.regs[dst.index()] = self.mem.read(a);
@@ -502,7 +544,10 @@ impl<'m> Machine<'m> {
                 let (a, ra) = self.eval(frame, *addr);
                 let (v, rv) = self.eval(frame, *val);
                 let a = a.wrapping_add(*off);
-                self.caches.access(core, a);
+                let lat = self.caches.access(core, a);
+                if C::ENABLED {
+                    counters.mem_access(self.caches.level_of(lat));
+                }
                 let (issue, _) = timer.issue(ra.max(rv), self.config.lat_alu);
                 self.time = issue;
                 self.mem.write(a, v);
@@ -557,7 +602,7 @@ impl<'m> Machine<'m> {
     /// Sequential-mode control transfer; may enter a region (parallel mode)
     /// or maintain sequential-region bookkeeping.
     #[allow(clippy::too_many_arguments)]
-    fn seq_transfer<T: Tracer>(
+    fn seq_transfer<T: Tracer, C: CounterSink>(
         &mut self,
         to: BlockId,
         frames: &mut [Frame],
@@ -565,6 +610,7 @@ impl<'m> Machine<'m> {
         seq_core: usize,
         seq_regions: &mut Vec<SeqRegion>,
         tracer: &mut T,
+        counters: &mut C,
     ) -> Result<(), SimError> {
         let depth = frames.len();
         let frame_func = frames.last().expect("nonempty").func;
@@ -581,7 +627,7 @@ impl<'m> Machine<'m> {
             if self.config.parallelize {
                 let ord = self.region_ord;
                 self.region_ord += 1;
-                self.run_region(rid, ord, to, frames, timer, seq_core, tracer)?;
+                self.run_region(rid, ord, to, frames, timer, seq_core, tracer, counters)?;
                 return Ok(());
             }
             // Sequential attribution.
@@ -640,7 +686,7 @@ impl<'m> Machine<'m> {
     /// Execute one region instance in parallel; on return, `frames`'s top
     /// frame has been advanced past the loop.
     #[allow(clippy::too_many_arguments)]
-    fn run_region<T: Tracer>(
+    fn run_region<T: Tracer, C: CounterSink>(
         &mut self,
         rid: RegionId,
         ord: u64,
@@ -649,6 +695,7 @@ impl<'m> Machine<'m> {
         timer: &mut CoreTimer,
         seq_core: usize,
         tracer: &mut T,
+        counters: &mut C,
     ) -> Result<(), SimError> {
         let t0 = self.time;
         if T::ENABLED {
@@ -747,6 +794,7 @@ impl<'m> Machine<'m> {
                         rid,
                         ord,
                         tracer,
+                        counters,
                     );
                     continue;
                 }
@@ -754,6 +802,10 @@ impl<'m> Machine<'m> {
                     + self.config.commit_overhead
                     + self.config.commit_per_line * epochs[0].wb.dirty_lines() as u64;
                 let e = epochs.remove(0);
+                if C::ENABLED {
+                    counters.epoch_commit();
+                    counters.predictions_verified(e.predicted.len() as u64);
+                }
                 for (a, v) in e.wb.iter() {
                     let mut v = v;
                     if let Some(plan) = self.config.inject.as_mut() {
@@ -785,6 +837,9 @@ impl<'m> Machine<'m> {
                     self.mem.write(a, v);
                     self.caches.install(e.core, a);
                     self.caches.invalidate_others(e.core, a);
+                    if C::ENABLED {
+                        counters.commit_write();
+                    }
                 }
                 for (chan, (v, _)) in &e.sync.out_scalars {
                     self.chan_regs[chan.index()] = *v;
@@ -880,6 +935,7 @@ impl<'m> Machine<'m> {
                         rid,
                         ord,
                         tracer,
+                        counters,
                     );
                 }
                 if let Some(exit_block) = exit {
@@ -1000,6 +1056,7 @@ impl<'m> Machine<'m> {
                 &committed_out,
                 &mut pendings,
                 tracer,
+                counters,
             )?;
             if let Some(req) = req {
                 self.squash(
@@ -1013,6 +1070,7 @@ impl<'m> Machine<'m> {
                     rid,
                     ord,
                     tracer,
+                    counters,
                 );
             }
         };
@@ -1076,7 +1134,7 @@ impl<'m> Machine<'m> {
 
     /// Squash `req.victim` and every later active epoch; restart them.
     #[allow(clippy::too_many_arguments)]
-    fn squash<T: Tracer>(
+    fn squash<T: Tracer, C: CounterSink>(
         &mut self,
         epochs: &mut [Epoch],
         base: &Frame,
@@ -1088,8 +1146,12 @@ impl<'m> Machine<'m> {
         rid: RegionId,
         ord: u64,
         tracer: &mut T,
+        counters: &mut C,
     ) {
         let w = self.config.issue_width;
+        if C::ENABLED {
+            counters.violation(req.kind);
+        }
         if T::ENABLED {
             let core = epochs
                 .iter()
@@ -1128,6 +1190,9 @@ impl<'m> Machine<'m> {
             stats.slots.fail += cycles * w;
             *attributed += cycles * w;
             stats.violations += 1;
+            if C::ENABLED {
+                counters.epoch_squash();
+            }
             let restart = req.time.max(e.clock) + self.config.restart_penalty;
             if T::ENABLED {
                 Self::emit_wait_end(tracer, rid, ord, e, now);
@@ -1168,7 +1233,7 @@ impl<'m> Machine<'m> {
     /// Execute one instruction (or terminator) of epoch `i`; returns a
     /// squash request if the step violated a later epoch.
     #[allow(clippy::too_many_arguments)]
-    fn step_epoch<T: Tracer>(
+    fn step_epoch<T: Tracer, C: CounterSink>(
         &mut self,
         epochs: &mut [Epoch],
         i: usize,
@@ -1178,6 +1243,7 @@ impl<'m> Machine<'m> {
         committed_out: &SyncState,
         pendings: &mut Vec<Pending>,
         tracer: &mut T,
+        counters: &mut C,
     ) -> Result<Option<SquashReq>, SimError> {
         let (older, rest) = epochs.split_at_mut(i);
         let (cur, younger) = rest.split_at_mut(1);
@@ -1191,6 +1257,9 @@ impl<'m> Machine<'m> {
         if frame.idx >= self.code.lens[cb] as usize {
             // Terminator.
             let term = self.code.terms[cb];
+            if C::ENABLED {
+                counters.retire(OpClass::of_term(&term));
+            }
             match term {
                 Terminator::Jump(to) => {
                     let (issue, _) = e.timer.issue(0, self.config.lat_alu);
@@ -1230,6 +1299,9 @@ impl<'m> Machine<'m> {
         }
 
         let instr = self.code.instrs[self.code.starts[cb] as usize + frame.idx];
+        if C::ENABLED {
+            counters.retire(OpClass::of(instr));
+        }
         match instr {
             Instr::Assign { dst, src } => {
                 let (v, r) = eval_in(&self.code.global_addrs,frame, *src);
@@ -1282,6 +1354,9 @@ impl<'m> Machine<'m> {
                 match pred_out.out_scalars.get(chan) {
                     None => {
                         e.status = Status::WaitScalar(*chan, e.clock);
+                        if C::ENABLED {
+                            counters.wait(WaitKind::Scalar(*chan));
+                        }
                         // Do not advance idx: re-execute on wake.
                         if T::ENABLED {
                             tracer.event(TraceEvent::WaitBegin {
@@ -1300,6 +1375,9 @@ impl<'m> Machine<'m> {
                         frame.regs[dst.index()] = v;
                         frame.ready[dst.index()] = complete;
                         frame.idx += 1;
+                        if C::ENABLED {
+                            counters.signal_recv(SignalKind::Scalar(*chan));
+                        }
                         if T::ENABLED {
                             tracer.event(TraceEvent::SignalRecv {
                                 rid,
@@ -1337,6 +1415,9 @@ impl<'m> Machine<'m> {
                 }
                 e.sync.out_scalars.insert(*chan, (v, ready_at));
                 frame.idx += 1;
+                if C::ENABLED {
+                    counters.signal_send(SignalKind::Scalar(*chan));
+                }
                 if T::ENABLED {
                     tracer.event(TraceEvent::SignalSend {
                         rid,
@@ -1407,6 +1488,9 @@ impl<'m> Machine<'m> {
                     e.sync.push_sig_buf(*group, a);
                 }
                 frame.idx += 1;
+                if C::ENABLED {
+                    counters.signal_send(SignalKind::Mem(*group));
+                }
                 if T::ENABLED {
                     tracer.event(TraceEvent::SignalSend {
                         rid,
@@ -1463,6 +1547,9 @@ impl<'m> Machine<'m> {
                         );
                     }
                 }
+                if C::ENABLED {
+                    counters.signal_send(SignalKind::MemNull(*group));
+                }
                 if T::ENABLED {
                     let sent = e.sync.out_mems[group];
                     tracer.event(TraceEvent::SignalSend {
@@ -1485,6 +1572,10 @@ impl<'m> Machine<'m> {
                 let (issue, _) = e.timer.issue(ra.max(rv), self.config.lat_alu);
                 e.clock = issue;
                 e.wb.store(a, v, *sid);
+                if C::ENABLED {
+                    counters.spec_store();
+                    counters.wb_occupancy(e.wb.len(), e.wb.dirty_lines());
+                }
                 if T::ENABLED {
                     tracer.event(TraceEvent::SpecStore {
                         rid,
@@ -1513,6 +1604,9 @@ impl<'m> Machine<'m> {
                             ready_at: issue + self.config.forward_lat,
                         },
                     );
+                    if C::ENABLED {
+                        counters.signal_send(SignalKind::Mem(g));
+                    }
                     if T::ENABLED {
                         tracer.event(TraceEvent::SignalSend {
                             rid,
@@ -1621,6 +1715,9 @@ impl<'m> Machine<'m> {
                 };
                 if let Some(v) = oracle_hit {
                     let lat = self.caches.access(e.core, a);
+                    if C::ENABLED {
+                        counters.mem_access(self.caches.level_of(lat));
+                    }
                     let (issue, complete) = e.timer.issue(r, lat);
                     e.clock = issue;
                     frame.regs[dst.index()] = v;
@@ -1639,6 +1736,9 @@ impl<'m> Machine<'m> {
                 if !is_oldest && (hw_flagged || mark_flagged) {
                     e.occ[sid.index()] -= 1;
                     e.status = Status::WaitOldest(e.clock);
+                    if C::ENABLED {
+                        counters.wait(WaitKind::Oldest);
+                    }
                     if T::ENABLED {
                         tracer.event(TraceEvent::WaitBegin {
                             rid,
@@ -1688,6 +1788,9 @@ impl<'m> Machine<'m> {
                         frame.regs[dst.index()] = pred;
                         frame.ready[dst.index()] = complete;
                         e.predicted.push((*sid, a, pred));
+                        if C::ENABLED {
+                            counters.predicted_load();
+                        }
                         if T::ENABLED {
                             tracer.event(TraceEvent::PredictedLoad {
                                 rid,
@@ -1706,7 +1809,7 @@ impl<'m> Machine<'m> {
                 }
                 let dst = *dst;
                 let sid = *sid;
-                self.epoch_plain_load(e, older, a, sid, pendings, r, dst, false, rid, ord, tracer)?;
+                self.epoch_plain_load(e, older, a, sid, pendings, r, dst, false, rid, ord, tracer, counters)?;
                 e.frames.last_mut().expect("nonempty").idx += 1;
             }
             Instr::SyncLoad { dst, addr, off, group, sid } => {
@@ -1731,13 +1834,16 @@ impl<'m> Machine<'m> {
                             frame.ready[dst.index()] = complete;
                         } else {
                             e.occ[sid.index()] -= 1;
-                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer)?;
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer, counters)?;
                         }
                         e.frames.last_mut().expect("nonempty").idx += 1;
                     }
                     SyncLoadPolicy::StallTillOldest => {
                         if !is_oldest {
                             e.status = Status::WaitOldest(e.clock);
+                            if C::ENABLED {
+                                counters.wait(WaitKind::Oldest);
+                            }
                             if T::ENABLED {
                                 tracer.event(TraceEvent::WaitBegin {
                                     rid,
@@ -1749,7 +1855,7 @@ impl<'m> Machine<'m> {
                                 });
                             }
                         } else {
-                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer)?;
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer, counters)?;
                             e.frames.last_mut().expect("nonempty").idx += 1;
                         }
                     }
@@ -1775,6 +1881,9 @@ impl<'m> Machine<'m> {
                             && self.viol_table.contains(sid, e.clock)
                         {
                             e.status = Status::WaitOldest(e.clock);
+                            if C::ENABLED {
+                                counters.wait(WaitKind::Oldest);
+                            }
                             if T::ENABLED {
                                 tracer.event(TraceEvent::WaitBegin {
                                     rid,
@@ -1788,13 +1897,16 @@ impl<'m> Machine<'m> {
                             return Ok(None);
                         }
                         if filtered_out {
-                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer)?;
+                            self.epoch_plain_load(e, older, a, sid, pendings, r, dst, true, rid, ord, tracer, counters)?;
                             e.frames.last_mut().expect("nonempty").idx += 1;
                             return Ok(None);
                         }
                         match pred_out.out_mems.get(&group).copied() {
                             None => {
                                 e.status = Status::WaitMem(group, e.clock);
+                                if C::ENABLED {
+                                    counters.wait(WaitKind::Mem(group));
+                                }
                                 if T::ENABLED {
                                     tracer.event(TraceEvent::WaitBegin {
                                         rid,
@@ -1821,6 +1933,9 @@ impl<'m> Machine<'m> {
                                     let frame = e.frames.last_mut().expect("nonempty");
                                     frame.regs[dst.index()] = v;
                                     frame.ready[dst.index()] = complete;
+                                    if C::ENABLED {
+                                        counters.spec_load(false);
+                                    }
                                     if T::ENABLED {
                                         tracer.event(TraceEvent::SpecLoad {
                                             rid,
@@ -1868,6 +1983,9 @@ impl<'m> Machine<'m> {
                                     let frame = e.frames.last_mut().expect("nonempty");
                                     frame.regs[dst.index()] = used;
                                     frame.ready[dst.index()] = complete;
+                                    if C::ENABLED {
+                                        counters.signal_recv(SignalKind::Mem(group));
+                                    }
                                     if T::ENABLED {
                                         tracer.event(TraceEvent::SignalRecv {
                                             rid,
@@ -1894,6 +2012,7 @@ impl<'m> Machine<'m> {
                                         rid,
                                         ord,
                                         tracer,
+                                        counters,
                                     )?;
                                 }
                                 e.frames.last_mut().expect("nonempty").idx += 1;
@@ -1910,7 +2029,7 @@ impl<'m> Machine<'m> {
     /// committed memory with read-set tracking and pending-violation
     /// registration.
     #[allow(clippy::too_many_arguments)]
-    fn epoch_plain_load<T: Tracer>(
+    fn epoch_plain_load<T: Tracer, C: CounterSink>(
         &mut self,
         e: &mut Epoch,
         older: &[Epoch],
@@ -1923,6 +2042,7 @@ impl<'m> Machine<'m> {
         rid: RegionId,
         ord: u64,
         tracer: &mut T,
+        counters: &mut C,
     ) -> Result<i64, SimError> {
         let frame = e.frames.last_mut().expect("nonempty");
         if let Some(v) = e.wb.load(a) {
@@ -1930,6 +2050,9 @@ impl<'m> Machine<'m> {
             e.clock = issue;
             frame.regs[dst.index()] = v;
             frame.ready[dst.index()] = complete;
+            if C::ENABLED {
+                counters.spec_load(false);
+            }
             if T::ENABLED {
                 tracer.event(TraceEvent::SpecLoad {
                     rid,
@@ -1947,18 +2070,26 @@ impl<'m> Machine<'m> {
         }
         let v = self.mem.read(a);
         // Timing-identical to `access`; the eviction report only feeds the
-        // tracer.
-        let lat = if T::ENABLED {
+        // tracer and the counter bank.
+        let lat = if T::ENABLED || C::ENABLED {
             let (lat, evicted) = self.caches.access_evict(e.core, a);
+            if C::ENABLED {
+                counters.mem_access(self.caches.level_of(lat));
+            }
             if let Some(victim_line) = evicted {
                 let speculative = e.reads.line_reader(victim_line).is_some()
                     || e.wb.wrote_line(victim_line);
-                tracer.event(TraceEvent::LineEvict {
-                    core: e.core,
-                    line: victim_line,
-                    speculative,
-                    time: e.clock,
-                });
+                if C::ENABLED {
+                    counters.line_evict(speculative);
+                }
+                if T::ENABLED {
+                    tracer.event(TraceEvent::LineEvict {
+                        core: e.core,
+                        line: victim_line,
+                        speculative,
+                        time: e.clock,
+                    });
+                }
             }
             lat
         } else {
@@ -1984,6 +2115,9 @@ impl<'m> Machine<'m> {
                     time: issue,
                 });
             }
+        }
+        if C::ENABLED {
+            counters.spec_load(true);
         }
         if T::ENABLED {
             // Emitted even under the fault injection below: the model sees
@@ -2424,6 +2558,45 @@ mod tests {
         let expected = stats.cycles * w * cores;
         assert_eq!(total, expected, "slots must partition cores×width×cycles");
         assert!(stats.slots.busy > 0);
+    }
+
+    #[test]
+    fn counters_are_observational_and_populated() {
+        let (m, _) = mem_dep_module(40, true);
+        let plain = Machine::new(&m, SimConfig::cgo2004()).run().expect("simulates");
+        let counted = Machine::new(&m, SimConfig::cgo2004()).run_counted().expect("simulates");
+        // Counting must not perturb the simulation.
+        assert_eq!(counted.output, plain.output);
+        assert_eq!(counted.total_cycles, plain.total_cycles);
+        assert_eq!(counted.instructions, plain.instructions);
+        assert_eq!(counted.total_violations, plain.total_violations);
+        assert!(plain.counters.is_none(), "disabled runs publish no bank");
+        let c = counted.counters.expect("counted run publishes a bank");
+        assert!(c.total_retired() > 0);
+        assert!(c.retired[OpClass::Load.index()] > 0);
+        assert!(c.retired[OpClass::Store.index()] > 0);
+        assert!(c.retired[OpClass::Branch.index()] > 0);
+        assert!(c.total_accesses() > 0);
+        assert!(c.spec_stores > 0);
+        assert!(c.signal_sends_mem > 0, "synced module forwards values");
+        assert!(c.signal_recvs_mem > 0);
+        assert!(c.epochs_committed >= 40);
+        assert!(c.wb_words_high_water >= 1);
+        // Determinism: an identical run produces an identical bank.
+        let again = Machine::new(&m, SimConfig::cgo2004()).run_counted().expect("simulates");
+        assert_eq!(*again.counters.expect("bank"), *c);
+    }
+
+    #[test]
+    fn counters_classify_violations_like_the_result() {
+        let (m, _) = mem_dep_module(40, false);
+        let r = Machine::new(&m, SimConfig::cgo2004()).run_counted().expect("simulates");
+        let c = r.counters.expect("bank");
+        assert!(c.violations_of(ViolationKind::Eager) + c.violations_of(ViolationKind::CommitTime) > 0);
+        // Every squashed attempt is counted; squash requests may cascade
+        // over several victims, so attempts ≥ requests.
+        assert_eq!(c.epochs_squashed, r.total_violations);
+        assert!(c.total_violations() <= c.epochs_squashed);
     }
 
     use crate::inject::FaultPlan;

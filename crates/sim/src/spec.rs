@@ -54,6 +54,16 @@ impl WriteBuffer {
         self.lines.len()
     }
 
+    /// Number of buffered words (occupancy counters).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the buffer holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
     /// Words written, in address order.
     pub fn iter(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
         self.words.iter().map(|(a, v)| (*a, *v))

@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use tls_ir::{RegionId, Sid};
 use tls_profile::Memory;
 
+use crate::counters::MachineCounters;
 use crate::inject::FaultSummary;
 
 /// Potential graduation slots divided into the paper's four segments.
@@ -223,6 +224,11 @@ pub struct SimResult {
     /// Per-class fault-injection counters (all zero unless the run was
     /// perturbed via `SimConfig::inject`).
     pub faults: FaultSummary,
+    /// Machine counter bank, populated only by counter-enabled runs
+    /// ([`crate::Machine::run_counted`] /
+    /// [`crate::Machine::run_instrumented`] with an enabled sink).
+    /// `None` means counting was compiled out, not that nothing happened.
+    pub counters: Option<Box<MachineCounters>>,
 }
 
 impl SimResult {
