@@ -19,8 +19,9 @@
 //!             [--rounds N] [--out path] [--check baseline.json]
 //!             [--tolerance P] [--handicap X]
 //!
-//! targets: fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 sweep report
-//!          all bench list run trace trace-check fuzz conform inject metrics
+//! targets: fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 sweep adaptive
+//!          report all bench list run trace trace-check fuzz conform inject
+//!          metrics
 //! global flags: --verbose --quiet --metrics path
 //! exit codes: 0 success, 2 usage, 3 simulation/internal error,
 //!             4 correctness-check failure, 5 performance regression
@@ -181,7 +182,7 @@ impl CliError {
 
 fn usage() -> CliError {
     eprintln!(
-        "usage: repro <fig2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|sweep|report|all|bench|list> \
+        "usage: repro <fig2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|sweep|adaptive|report|all|bench|list> \
          [--quick] [--scale S] [--workloads a,b,c] [--jobs N] [--out path]\n\
          \x20      repro run <bench> [--mode M|all] [--quick] [--scale S] [--out path]\n\
          \x20      repro trace <bench> [--mode M] [--quick] [--scale S] [--interval N] \

@@ -8,8 +8,9 @@ use std::sync::OnceLock;
 use tls_core::{compile_all, loads_above_threshold, CompilationSet, CompileError, CompileOptions};
 use tls_profile::{record_oracle, ExecError, ValueOracle};
 use tls_sim::{
-    check_conformance, CounterSink, Machine, MachineCounters, ModelConfig, NullCounters,
-    NullTracer, OracleSel, RecordingTracer, SimConfig, SimError, SimResult, SyncLoadPolicy, Tracer,
+    check_conformance, AdaptConfig, CounterSink, Machine, MachineCounters, ModelConfig,
+    NullCounters, NullTracer, OracleSel, RecordingTracer, SimConfig, SimError, SimResult,
+    SyncLoadPolicy, Tracer,
 };
 use tls_workloads::{InputSet, Workload};
 
@@ -109,6 +110,16 @@ pub enum Mode {
         /// Enable hardware synchronization stalls.
         stall_hardware: bool,
     },
+    /// `A`: the ref-profiled compiler module with the adaptive
+    /// per-dependence controller layered on top (see [`tls_sim::adapt`]).
+    Adaptive,
+    /// `A-T`: the *train*-profiled module plus the adaptive controller —
+    /// the input-sensitivity experiment; on a phase-shifting input this is
+    /// what recovers the performance `T` leaves behind.
+    AdaptiveTrain,
+    /// `A-U`: no compiler synchronization at all; the controller learns
+    /// every dependence online from the violation stream.
+    AdaptiveUnsync,
 }
 
 /// The full evaluation matrix, sequential baseline first: every bar letter
@@ -117,7 +128,7 @@ pub enum Mode {
 /// trace-invariant and conformance suites take the speculative tail
 /// ([`spec_modes`]), and every mode a figure runs appears in it (see
 /// [`crate::figures::modes_used`] and the agreement test there).
-pub const MODES: [Mode; 18] = [
+pub const MODES: [Mode; 21] = [
     Mode::Seq,
     Mode::Unsync,
     Mode::OracleAll,
@@ -148,6 +159,9 @@ pub const MODES: [Mode; 18] = [
         stall_compiler: true,
         stall_hardware: true,
     },
+    Mode::Adaptive,
+    Mode::AdaptiveTrain,
+    Mode::AdaptiveUnsync,
 ];
 
 /// The speculative modes: [`MODES`] without the sequential baseline.
@@ -180,15 +194,22 @@ impl Mode {
                 (false, true) => "mark-H".into(),
                 (true, true) => "mark-B".into(),
             },
+            Mode::Adaptive => "A".into(),
+            Mode::AdaptiveTrain => "A-T".into(),
+            Mode::AdaptiveUnsync => "A-U".into(),
         }
     }
 
     /// Parse a bar letter back into a mode (the inverse of
     /// [`Mode::label`]): `SEQ`, `U`, `O`, `O>75%`, `T`, `C`, `E`, `L`,
-    /// `P`, `H`, `B`, `B+`, `mark-U`, `mark-C`, `mark-H`, `mark-B`.
+    /// `P`, `H`, `B`, `B+`, `mark-U`, `mark-C`, `mark-H`, `mark-B`, `A`,
+    /// `A-T`, `A-U`.
     pub fn from_label(label: &str) -> Option<Mode> {
         Some(match label {
             "SEQ" | "seq" => Mode::Seq,
+            "A" | "a" => Mode::Adaptive,
+            "A-T" | "a-t" => Mode::AdaptiveTrain,
+            "A-U" | "a-u" => Mode::AdaptiveUnsync,
             "U" | "u" => Mode::Unsync,
             "O" | "o" => Mode::OracleAll,
             "T" | "t" => Mode::CompilerTrain,
@@ -711,6 +732,30 @@ impl Harness {
                     OracleUse::None,
                 )
             }
+            Mode::Adaptive => (
+                &self.set_c.synced,
+                SimConfig {
+                    adapt: Some(AdaptConfig::default()),
+                    ..base
+                },
+                OracleUse::None,
+            ),
+            Mode::AdaptiveTrain => (
+                &self.set_t.synced,
+                SimConfig {
+                    adapt: Some(AdaptConfig::default()),
+                    ..base
+                },
+                OracleUse::None,
+            ),
+            Mode::AdaptiveUnsync => (
+                &self.set_c.unsync,
+                SimConfig {
+                    adapt: Some(AdaptConfig::default()),
+                    ..base
+                },
+                OracleUse::None,
+            ),
         }
     }
 

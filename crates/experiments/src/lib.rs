@@ -15,6 +15,15 @@
 //! | `P` | hardware value prediction | [`Mode::HwPredict`] |
 //! | `H` | hardware-inserted synchronization | [`Mode::HwSync`] |
 //! | `B` | compiler + hardware hybrid | [`Mode::Hybrid`] |
+//! | `A` | adaptive per-dependence policies over `C` | [`Mode::Adaptive`] |
+//! | `A-T` | adaptive over the train-profiled module | [`Mode::AdaptiveTrain`] |
+//! | `A-U` | adaptive with no compiler sync at all | [`Mode::AdaptiveUnsync`] |
+//!
+//! The `A*` modes go beyond the paper: an online controller
+//! ([`tls_sim::adapt`]) switches each static load between forwarding,
+//! hardware stall and last-value prediction from the observed violation
+//! stream, and bulk-re-profiles when the dependence-frequency distribution
+//! shifts mid-run (the failure mode of static train-input profiling).
 //!
 //! [`Harness::new`] compiles a workload once (both profile inputs), records
 //! the value oracles, and runs the sequential baseline; [`Harness::run`]

@@ -6,7 +6,8 @@
 //! totals in [`MachineCounters`] must equal what a cold replay of the
 //! [`TraceEvent`] stream counts: violations by cause, signal sends by
 //! flavour, signal receives, line evictions, speculative stores and loads,
-//! commit writes, epoch commits and squashes, predicted loads. A drifting
+//! commit writes, epoch commits and squashes, predicted loads, adaptive
+//! policy transitions by target policy, and bulk re-profiles. A drifting
 //! pair (a hook moved, an emission gated differently) is a bug in whichever
 //! side moved — this test pins them together.
 //!
@@ -34,6 +35,8 @@ struct Replay {
     commits: u64,
     squashes: u64,
     predicted_loads: u64,
+    policy_transitions: [u64; 3],
+    reprofiles: u64,
 }
 
 fn violation_slot(kind: ViolationKind) -> usize {
@@ -78,6 +81,10 @@ impl Replay {
                 TraceEvent::EpochCommit { .. } => r.commits += 1,
                 TraceEvent::EpochSquash { .. } => r.squashes += 1,
                 TraceEvent::PredictedLoad { .. } => r.predicted_loads += 1,
+                TraceEvent::PolicyTransition { to, .. } => {
+                    r.policy_transitions[to.index()] += 1;
+                }
+                TraceEvent::Reprofile { .. } => r.reprofiles += 1,
                 _ => {}
             }
         }
@@ -101,6 +108,8 @@ impl Replay {
             commits: c.epochs_committed,
             squashes: c.epochs_squashed,
             predicted_loads: c.predicted_loads,
+            policy_transitions: c.policy_transitions,
+            reprofiles: c.reprofiles,
         }
     }
 

@@ -5,6 +5,7 @@ use std::collections::HashSet;
 
 use tls_ir::Sid;
 
+use crate::adapt::AdaptConfig;
 use crate::inject::FaultPlan;
 
 /// How a compiler-inserted `SyncLoad` behaves.
@@ -123,6 +124,12 @@ pub struct SimConfig {
     /// often each compiler-synchronized load actually uses its forwarded
     /// value, and stops waiting on the ones that rarely do.
     pub hybrid_filter: bool,
+    /// Adaptive per-dependence policy controller (modes `A`/`A-T`/`A-U`):
+    /// when set, every speculative load consults [`crate::AdaptController`]
+    /// and is handled by the FORWARD, STALL or PREDICT mechanism the
+    /// controller currently assigns its sid (see [`crate::adapt`]). `None`
+    /// reproduces the paper's static policies exactly.
+    pub adapt: Option<AdaptConfig>,
     /// Cycle interval between cumulative slot-breakdown samples emitted to
     /// an enabled tracer (`0` disables sampling). Sampling only affects the
     /// event stream, never simulated timing.
@@ -157,6 +164,13 @@ pub struct SimConfig {
     /// bug invisible to final-state differencing is still rejected. Never
     /// set outside tests.
     pub break_exposed_read_marking: bool,
+    /// **Fault injection, test-only.** The adaptive PREDICT path consumes
+    /// its predicted value and reports it to the tracer, but skips the
+    /// commit-time verification entry — a wrong prediction silently
+    /// commits. Final-state differencing may or may not notice; the
+    /// conformance model must always reject the missing mispredict. Never
+    /// set outside tests.
+    pub break_adaptive_forwarding: bool,
 }
 
 impl SimConfig {
@@ -199,12 +213,14 @@ impl SimConfig {
             word_grain: false,
             relay_forwarding: false,
             hybrid_filter: false,
+            adapt: None,
             trace_interval: 0,
             max_steps: 4_000_000_000,
             max_cycles: 4_000_000_000,
             inject: None,
             break_forwarded_recovery: false,
             break_exposed_read_marking: false,
+            break_adaptive_forwarding: false,
         }
     }
 

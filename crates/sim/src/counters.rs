@@ -31,6 +31,7 @@ use std::fmt::Write as _;
 
 use tls_ir::{BinOp, Instr, Terminator};
 
+use crate::adapt::Policy;
 use crate::events::{SignalKind, ViolationKind, WaitKind};
 use crate::stats::SimResult;
 
@@ -190,6 +191,12 @@ pub trait CounterSink {
     fn predicted_load(&mut self);
     /// `n` predictions passed commit-time verification.
     fn predictions_verified(&mut self, n: u64);
+    /// The adaptive controller switched a dependence to policy `to`
+    /// (exactly the `PolicyTransition` trace sites).
+    fn policy_transition(&mut self, to: Policy);
+    /// The adaptive controller bulk-reset all policies on a distribution
+    /// shift (exactly the `Reprofile` trace sites).
+    fn reprofile(&mut self);
     /// Copy the final counter bank into the run's [`SimResult`].
     fn publish(&self, result: &mut SimResult);
 }
@@ -232,6 +239,10 @@ impl CounterSink for NullCounters {
     fn predicted_load(&mut self) {}
     #[inline]
     fn predictions_verified(&mut self, _n: u64) {}
+    #[inline]
+    fn policy_transition(&mut self, _to: Policy) {}
+    #[inline]
+    fn reprofile(&mut self) {}
     #[inline]
     fn publish(&self, _result: &mut SimResult) {}
 }
@@ -301,6 +312,14 @@ impl<C: CounterSink> CounterSink for &mut C {
         (**self).predictions_verified(n);
     }
     #[inline]
+    fn policy_transition(&mut self, to: Policy) {
+        (**self).policy_transition(to);
+    }
+    #[inline]
+    fn reprofile(&mut self) {
+        (**self).reprofile();
+    }
+    #[inline]
     fn publish(&self, result: &mut SimResult) {
         (**self).publish(result);
     }
@@ -364,6 +383,11 @@ pub struct MachineCounters {
     pub predicted_loads: u64,
     /// Predictions that passed commit-time verification.
     pub predictions_verified: u64,
+    /// Adaptive policy switches by destination policy (bank order of
+    /// [`Policy::ALL`]: forward, stall, predict).
+    pub policy_transitions: [u64; 3],
+    /// Adaptive distribution-shift re-profiles (bulk policy resets).
+    pub reprofiles: u64,
 }
 
 impl MachineCounters {
@@ -397,6 +421,11 @@ impl MachineCounters {
         self.violations[violation_index(kind)]
     }
 
+    /// Total adaptive policy switches across all destinations.
+    pub fn total_policy_transitions(&self) -> u64 {
+        self.policy_transitions.iter().sum()
+    }
+
     /// Fraction of consumed predictions that verified at commit (1.0 when
     /// none were consumed: nothing mispredicted).
     pub fn prediction_hit_rate(&self) -> f64 {
@@ -414,6 +443,9 @@ impl MachineCounters {
             *a += b;
         }
         for (a, b) in self.violations.iter_mut().zip(o.violations.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.policy_transitions.iter_mut().zip(o.policy_transitions.iter()) {
             *a += b;
         }
         self.l1_hits += o.l1_hits;
@@ -439,6 +471,7 @@ impl MachineCounters {
         self.waits_oldest += o.waits_oldest;
         self.predicted_loads += o.predicted_loads;
         self.predictions_verified += o.predictions_verified;
+        self.reprofiles += o.reprofiles;
     }
 
     /// Every counter as a `name → value` map with dotted hierarchical
@@ -483,6 +516,13 @@ impl MachineCounters {
         out.insert("waits.oldest".into(), self.waits_oldest);
         out.insert("predict.loads".into(), self.predicted_loads);
         out.insert("predict.verified".into(), self.predictions_verified);
+        for p in Policy::ALL {
+            out.insert(
+                format!("adapt.to_{}", p.name()),
+                self.policy_transitions[p.index()],
+            );
+        }
+        out.insert("adapt.reprofiles".into(), self.reprofiles);
         out
     }
 
@@ -585,6 +625,14 @@ impl CounterSink for MachineCounters {
     fn predictions_verified(&mut self, n: u64) {
         self.predictions_verified += n;
     }
+    #[inline]
+    fn policy_transition(&mut self, to: Policy) {
+        self.policy_transitions[to.index()] += 1;
+    }
+    #[inline]
+    fn reprofile(&mut self) {
+        self.reprofiles += 1;
+    }
     fn publish(&self, result: &mut SimResult) {
         result.counters = Some(Box::new(self.clone()));
     }
@@ -608,7 +656,16 @@ mod tests {
         c.signal_recv(SignalKind::Mem(tls_ir::GroupId(1)));
         c.wb_occupancy(7, 3);
         c.wb_occupancy(4, 5);
+        c.policy_transition(Policy::Stall);
+        c.policy_transition(Policy::Stall);
+        c.policy_transition(Policy::Predict);
+        c.reprofile();
         let rows = c.rows();
+        assert_eq!(rows["adapt.to_stall"], 2);
+        assert_eq!(rows["adapt.to_predict"], 1);
+        assert_eq!(rows["adapt.to_forward"], 0);
+        assert_eq!(rows["adapt.reprofiles"], 1);
+        assert_eq!(c.total_policy_transitions(), 3);
         assert_eq!(rows["retired.load"], 2);
         assert_eq!(rows["retired.mul_div"], 1);
         assert_eq!(rows["cache.l1_hits"], 1);

@@ -16,6 +16,7 @@
 
 use tls_ir::{ChanId, GroupId, RegionId, Sid};
 
+use crate::adapt::Policy;
 use crate::inject::FaultClass;
 use crate::stats::SlotBreakdown;
 
@@ -375,6 +376,38 @@ pub enum TraceEvent {
         /// Commit cycle.
         time: u64,
     },
+    /// The adaptive controller switched a dependence's synchronization
+    /// mechanism (see [`crate::adapt`]). Observational: the switch affects
+    /// timing and forwarding provenance, never committed values.
+    PolicyTransition {
+        /// Static region.
+        rid: RegionId,
+        /// Dynamic instance ordinal.
+        ord: u64,
+        /// Epoch whose load (or violation) drove the switch.
+        epoch: u64,
+        /// Core of that epoch.
+        core: usize,
+        /// The dependence (static load id) that switched.
+        sid: Sid,
+        /// Policy before the switch.
+        from: Policy,
+        /// Policy now in force.
+        to: Policy,
+        /// Switch cycle.
+        time: u64,
+    },
+    /// The adaptive controller declared a dependence-distribution shift
+    /// and bulk-reset every per-dependence policy (see [`crate::adapt`]).
+    /// Counted once per reset, not as per-dependence transitions.
+    Reprofile {
+        /// Static region the triggering consultation belonged to.
+        rid: RegionId,
+        /// Dynamic instance ordinal.
+        ord: u64,
+        /// Reset cycle.
+        time: u64,
+    },
     /// A seeded fault plan perturbed the hardware at this point (see
     /// [`crate::inject`]). Purely observational: lets archived streams be
     /// audited for which protocol points were attacked.
@@ -408,6 +441,8 @@ impl TraceEvent {
             | TraceEvent::SpecLoad { time, .. }
             | TraceEvent::PredictedLoad { time, .. }
             | TraceEvent::CommitWrite { time, .. }
+            | TraceEvent::PolicyTransition { time, .. }
+            | TraceEvent::Reprofile { time, .. }
             | TraceEvent::FaultInject { time, .. } => time,
             TraceEvent::EpochCommit { end, .. }
             | TraceEvent::EpochSquash { end, .. }

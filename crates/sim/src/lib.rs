@@ -22,12 +22,18 @@
 //!   reset, stalling flagged loads until the previous epoch completes);
 //! * hardware last-value prediction with commit-time verification;
 //! * perfect value prediction from a sequential-execution oracle (the `O`,
-//!   `E` and Figure 6 idealizations).
+//!   `E` and Figure 6 idealizations);
+//! * adaptive per-dependence policy switching (beyond the paper): an
+//!   online controller that moves each static load between forwarding,
+//!   hardware stall and last-value prediction from observed violation
+//!   rates, with a re-profiling trigger on distribution shifts (see
+//!   [`adapt`], the `A`/`A-T`/`A-U` modes).
 //!
 //! The main entry point is [`Machine`]; results come back as a
 //! [`SimResult`] with the paper's busy/fail/sync/other graduation-slot
 //! breakdown per region.
 
+pub mod adapt;
 mod cache;
 mod config;
 mod counters;
@@ -41,6 +47,7 @@ mod stats;
 mod timing;
 mod trace;
 
+pub use adapt::{AdaptConfig, AdaptController, Outcome, Policy};
 pub use cache::{MemSystem, SetAssocCache};
 pub use config::{OracleSel, SimConfig, SyncLoadPolicy};
 pub use counters::{violation_index, CounterSink, MachineCounters, MemLevel, NullCounters, OpClass};

@@ -29,6 +29,7 @@ use tls_ir::{
 };
 use tls_profile::{Memory, OracleKey, ValueOracle};
 
+use crate::adapt::{AdaptController, Outcome as AdaptOutcome, Policy};
 use crate::cache::MemSystem;
 use crate::config::{OracleSel, SimConfig, SyncLoadPolicy};
 use crate::counters::{CounterSink, MachineCounters, NullCounters, OpClass};
@@ -268,6 +269,8 @@ pub struct Machine<'m> {
     branch: Vec<BranchPredictor>,
     viol_table: ViolationTable,
     predictor: ValuePredictor,
+    /// Adaptive per-dependence policy controller (`SimConfig::adapt`).
+    adapt: Option<AdaptController>,
     chan_regs: Vec<i64>,
     output: Vec<i64>,
     /// Per region: dense membership table indexed by `BlockId` within the
@@ -304,6 +307,7 @@ impl<'m> Machine<'m> {
                 .collect(),
             viol_table: ViolationTable::new(config.hw_table_size, config.hw_reset_interval),
             predictor: ValuePredictor::new(config.predictor_entries, config.predictor_threshold),
+            adapt: config.adapt.clone().map(AdaptController::new),
             chan_regs: vec![0; module.next_chan as usize],
             output: Vec::new(),
             region_blocks,
@@ -1132,6 +1136,49 @@ impl<'m> Machine<'m> {
         });
     }
 
+    /// Emit the trace events and counter increments for one adaptive
+    /// controller consultation (policy switch and/or re-profile). The
+    /// controller itself never sees the tracer: every emission stays
+    /// co-located with the machine state change, like all other sites.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_adapt<T: Tracer, C: CounterSink>(
+        tracer: &mut T,
+        counters: &mut C,
+        rid: RegionId,
+        ord: u64,
+        epoch: u64,
+        core: usize,
+        sid: Sid,
+        out: &AdaptOutcome,
+        time: u64,
+    ) {
+        if out.reprofiled {
+            if C::ENABLED {
+                counters.reprofile();
+            }
+            if T::ENABLED {
+                tracer.event(TraceEvent::Reprofile { rid, ord, time });
+            }
+        }
+        if let Some((from, to)) = out.transition {
+            if C::ENABLED {
+                counters.policy_transition(to);
+            }
+            if T::ENABLED {
+                tracer.event(TraceEvent::PolicyTransition {
+                    rid,
+                    ord,
+                    epoch,
+                    core,
+                    sid,
+                    from,
+                    to,
+                    time,
+                });
+            }
+        }
+    }
+
     /// Squash `req.victim` and every later active epoch; restart them.
     #[allow(clippy::too_many_arguments)]
     fn squash<T: Tracer, C: CounterSink>(
@@ -1183,6 +1230,19 @@ impl<'m> Machine<'m> {
             *stats.violation_classes.entry(class).or_insert(0) += 1;
             *stats.violations_by_load.entry(sid).or_insert(0) += 1;
             self.viol_table.record_violation(sid, req.time);
+            if let Some(ctl) = self.adapt.as_mut() {
+                // The controller observes every violation attributed to a
+                // load; an escalation here is what arms STALL/PREDICT for
+                // the restarted attempt.
+                let out = ctl.record_violation(sid, req.kind, req.time);
+                let core = epochs
+                    .iter()
+                    .find(|e| e.index == req.victim)
+                    .map_or(0, |e| e.core);
+                Self::emit_adapt(
+                    tracer, counters, rid, ord, req.victim, core, sid, &out, req.time,
+                );
+            }
         }
         for e in epochs.iter_mut().filter(|e| e.index >= req.victim) {
             let now = req.time.max(e.attempt_start);
@@ -1807,6 +1867,73 @@ impl<'m> Machine<'m> {
                         return Ok(None);
                     }
                 }
+                // Adaptive per-dependence policy (modes A/A-T/A-U): the
+                // controller decides how this load synchronizes. FORWARD
+                // falls through to plain speculation below; STALL mirrors
+                // the hardware-sync wait; PREDICT mirrors mode P with
+                // commit-time verification.
+                if self.adapt.is_some() && !is_oldest {
+                    // The predictor is consulted before the controller is
+                    // borrowed mutably; the fields are disjoint.
+                    let confident = self.predictor.predict(*sid).is_some();
+                    let Some(ctl) = self.adapt.as_mut() else { unreachable!() };
+                    let out = ctl.decide(*sid, e.clock, confident);
+                    Self::emit_adapt(
+                        tracer, counters, rid, ord, e.index, e.core, *sid, &out, e.clock,
+                    );
+                    match out.policy {
+                        Policy::Stall => {
+                            e.occ[sid.index()] -= 1;
+                            e.status = Status::WaitOldest(e.clock);
+                            if C::ENABLED {
+                                counters.wait(WaitKind::Oldest);
+                            }
+                            if T::ENABLED {
+                                tracer.event(TraceEvent::WaitBegin {
+                                    rid,
+                                    ord,
+                                    epoch: e.index,
+                                    core: e.core,
+                                    kind: WaitKind::Oldest,
+                                    time: e.clock,
+                                });
+                            }
+                            return Ok(None);
+                        }
+                        Policy::Predict if !e.wb.wrote_word(a) => {
+                            if let Some(pred) = self.predictor.predict(*sid) {
+                                let (issue, complete) = e.timer.issue(r, self.config.lat_alu);
+                                e.clock = issue;
+                                frame.regs[dst.index()] = pred;
+                                frame.ready[dst.index()] = complete;
+                                // Test-only mutation: skip the verification
+                                // entry so a wrong prediction commits
+                                // silently — only the model can object.
+                                if !self.config.break_adaptive_forwarding {
+                                    e.predicted.push((*sid, a, pred));
+                                }
+                                if C::ENABLED {
+                                    counters.predicted_load();
+                                }
+                                if T::ENABLED {
+                                    tracer.event(TraceEvent::PredictedLoad {
+                                        rid,
+                                        ord,
+                                        epoch: e.index,
+                                        core: e.core,
+                                        sid: *sid,
+                                        addr: a,
+                                        value: pred,
+                                        time: issue,
+                                    });
+                                }
+                                frame.idx += 1;
+                                return Ok(None);
+                            }
+                        }
+                        Policy::Forward | Policy::Predict => {}
+                    }
+                }
                 let dst = *dst;
                 let sid = *sid;
                 self.epoch_plain_load(e, older, a, sid, pendings, r, dst, false, rid, ord, tracer, counters)?;
@@ -1860,6 +1987,76 @@ impl<'m> Machine<'m> {
                         }
                     }
                     SyncLoadPolicy::Forward => {
+                        // Adaptive override (modes A/A-T): a compiler-
+                        // synchronized load normally honors its signal
+                        // (FORWARD), but the controller may decide the
+                        // dependence is better served by the hardware
+                        // stall or by last-value prediction — e.g. when a
+                        // phase shift made the profiled placement wrong.
+                        if self.adapt.is_some() && !is_oldest {
+                            // Predictor first, controller second — the
+                            // fields are disjoint, the borrows are not.
+                            let confident = self.predictor.predict(sid).is_some();
+                            let Some(ctl) = self.adapt.as_mut() else { unreachable!() };
+                            let out = ctl.decide(sid, e.clock, confident);
+                            Self::emit_adapt(
+                                tracer, counters, rid, ord, e.index, e.core, sid, &out, e.clock,
+                            );
+                            match out.policy {
+                                Policy::Stall => {
+                                    e.status = Status::WaitOldest(e.clock);
+                                    if C::ENABLED {
+                                        counters.wait(WaitKind::Oldest);
+                                    }
+                                    if T::ENABLED {
+                                        tracer.event(TraceEvent::WaitBegin {
+                                            rid,
+                                            ord,
+                                            epoch: e.index,
+                                            core: e.core,
+                                            kind: WaitKind::Oldest,
+                                            time: e.clock,
+                                        });
+                                    }
+                                    return Ok(None);
+                                }
+                                Policy::Predict if !e.wb.wrote_word(a) => {
+                                    if let Some(pred) = self.predictor.predict(sid) {
+                                        let (issue, complete) =
+                                            e.timer.issue(r, self.config.lat_alu);
+                                        e.clock = issue;
+                                        let frame =
+                                            e.frames.last_mut().expect("nonempty");
+                                        frame.regs[dst.index()] = pred;
+                                        frame.ready[dst.index()] = complete;
+                                        // Test-only mutation: skip the
+                                        // verification entry (see the plain-
+                                        // load site).
+                                        if !self.config.break_adaptive_forwarding {
+                                            e.predicted.push((sid, a, pred));
+                                        }
+                                        if C::ENABLED {
+                                            counters.predicted_load();
+                                        }
+                                        if T::ENABLED {
+                                            tracer.event(TraceEvent::PredictedLoad {
+                                                rid,
+                                                ord,
+                                                epoch: e.index,
+                                                core: e.core,
+                                                sid,
+                                                addr: a,
+                                                value: pred,
+                                                time: issue,
+                                            });
+                                        }
+                                        e.frames.last_mut().expect("nonempty").idx += 1;
+                                        return Ok(None);
+                                    }
+                                }
+                                Policy::Forward | Policy::Predict => {}
+                            }
+                        }
                         // Hybrid enhancement (iii): hardware tracks whether
                         // this load's forwarded value is actually usable.
                         // Useful → trust the compiler (no hardware stall);
@@ -2156,7 +2353,9 @@ impl<'m> Machine<'m> {
                 addr: a,
             });
         }
-        if self.config.hw_predict {
+        // Train the last-value table for the prediction modes; the adaptive
+        // controller needs it trained so STALL can upgrade to PREDICT.
+        if self.config.hw_predict || self.config.adapt.is_some() {
             self.predictor.train(sid, v);
         }
         Ok(v)

@@ -314,8 +314,14 @@ impl Model {
             }
             // Fault-injection markers are observational: the model judges
             // the protocol events themselves, not the perturbation notes.
+            // Adaptive policy decisions likewise change timing and
+            // forwarding provenance only — the loads they steer arrive as
+            // ordinary SpecLoad/PredictedLoad/WaitBegin events and are
+            // judged by the same rules as the static modes.
             TraceEvent::LineEvict { .. }
             | TraceEvent::SlotSample { .. }
+            | TraceEvent::PolicyTransition { .. }
+            | TraceEvent::Reprofile { .. }
             | TraceEvent::FaultInject { .. } => {}
         }
         Ok(())

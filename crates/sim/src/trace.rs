@@ -397,6 +397,20 @@ pub fn check_event_stream(events: &[TraceEvent]) -> Result<EventStreamStats, Str
                     let inst = get(&mut open, rid, ord, "commit-write")?;
                     live(inst, epoch, "commit-write")?;
                 }
+                TraceEvent::PolicyTransition { rid, ord, epoch, from, to, .. } => {
+                    // A policy switch is always driven by a live epoch's
+                    // load (or its violation) inside an open instance, and
+                    // never switches a dependence to the policy it already
+                    // has.
+                    let inst = get(&mut open, rid, ord, "policy-transition")?;
+                    live(inst, epoch, "policy-transition")?;
+                    if from == to {
+                        return Err(format!("policy transition {from:?} -> {to:?} is a no-op"));
+                    }
+                }
+                TraceEvent::Reprofile { rid, ord, .. } => {
+                    get(&mut open, rid, ord, "reprofile")?;
+                }
                 TraceEvent::LineEvict { .. }
                 | TraceEvent::SlotSample { .. }
                 | TraceEvent::FaultInject { .. } => {}
@@ -931,6 +945,10 @@ fn parse_signal_kind(s: &str) -> Result<SignalKind, String> {
     }
 }
 
+fn parse_policy(s: &str) -> Result<crate::adapt::Policy, String> {
+    crate::adapt::Policy::parse(s).ok_or_else(|| format!("bad policy `{s}`"))
+}
+
 fn parse_violation_kind(s: &str) -> Result<crate::events::ViolationKind, String> {
     use crate::events::ViolationKind as V;
     match s {
@@ -1117,6 +1135,20 @@ pub fn events_to_json(events: &[TraceEvent]) -> String {
                 );
                 i64_field(&mut b, "addr", addr);
                 i64_field(&mut b, "value", value);
+            }
+            TraceEvent::PolicyTransition { rid, ord, epoch, core, sid, from, to, time } => {
+                let _ = write!(
+                    b,
+                    "{{\"ev\":\"policy_transition\",\"rid\":{},\"ord\":{ord},\"epoch\":{epoch},\"core\":{core},\
+                     \"sid\":{},\"from\":\"{}\",\"to\":\"{}\",\"time\":{time}",
+                    rid.0,
+                    sid.0,
+                    from.name(),
+                    to.name()
+                );
+            }
+            TraceEvent::Reprofile { rid, ord, time } => {
+                let _ = write!(b, "{{\"ev\":\"reprofile\",\"rid\":{},\"ord\":{ord},\"time\":{time}", rid.0);
             }
             TraceEvent::CommitWrite { rid, ord, epoch, addr, value, time } => {
                 let _ = write!(
@@ -1370,6 +1402,21 @@ pub fn events_from_json(s: &str) -> Result<Vec<TraceEvent>, String> {
                     sid: o.sid()?,
                     addr: o.i64("addr")?,
                     value: o.i64("value")?,
+                    time: o.u64("time")?,
+                },
+                "policy_transition" => TraceEvent::PolicyTransition {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
+                    epoch: o.u64("epoch")?,
+                    core: o.usize("core")?,
+                    sid: o.sid()?,
+                    from: parse_policy(o.str("from")?)?,
+                    to: parse_policy(o.str("to")?)?,
+                    time: o.u64("time")?,
+                },
+                "reprofile" => TraceEvent::Reprofile {
+                    rid: o.rid()?,
+                    ord: o.u64("ord")?,
                     time: o.u64("time")?,
                 },
                 "commit_write" => TraceEvent::CommitWrite {

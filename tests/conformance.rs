@@ -116,6 +116,50 @@ fn seeded_mutation_is_rejected() {
 }
 
 #[test]
+fn seeded_adaptive_mutation_is_rejected() {
+    // Re-simulate with the adaptive-forwarding fault injected: when the
+    // controller places a dependence under the PREDICT policy, the mutated
+    // machine consumes the predicted value (and emits the PredictedLoad
+    // event) but skips registering it for commit-time verification — so a
+    // wrong prediction is never squashed and its value simply commits. The
+    // protocol model rebuilds the predicted set from the event stream and
+    // must reject the first such commit as a missed mispredict; final-state
+    // differencing alone can let it through when the corruption stays in
+    // dead data.
+    let w = tls_repro::workloads::by_name("parser").expect("workload exists");
+    let mut h = Harness::new(w, Scale::Quick).expect("harness builds");
+    h.base.break_adaptive_forwarding = true;
+    let mut rec = RecordingTracer::default();
+    match h.run_traced(Mode::AdaptiveUnsync, &mut rec) {
+        Ok(_) | Err(ExperimentError::WrongOutput { .. }) => {}
+        Err(e) => panic!("parser/A-U: {e}"),
+    }
+    match h.check_conformance(Mode::AdaptiveUnsync, &rec.events) {
+        Ok(stats) => panic!(
+            "parser/A-U: the checker accepted a run with unverified predictions ({})",
+            stats.summary()
+        ),
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains("missed mispredict"),
+                "parser/A-U: rejected for the wrong reason: {msg}"
+            );
+        }
+    }
+
+    // Control: the identical adaptive runs without the fault conform, and
+    // actually exercise the prediction path the fault targets.
+    let clean = quick("parser");
+    let stats = conform::conform_run(&clean, Mode::AdaptiveUnsync).expect("clean parser/A-U");
+    assert!(
+        stats.predicted_loads > 0,
+        "clean parser/A-U never predicted — the fault above is vacuous"
+    );
+    conform::conform_run(&clean, Mode::Adaptive).expect("clean parser/A conforms");
+}
+
+#[test]
 fn event_streams_round_trip_through_json() {
     let cfg = FuzzConfig::default();
     for seed in 1..=10u64 {

@@ -7,7 +7,8 @@
 use std::path::Path;
 
 use tls_repro::experiments::fuzz::{self, FuzzConfig};
-use tls_repro::ir::{GenConfig, GenFamily};
+use tls_repro::experiments::{Harness, Mode};
+use tls_repro::ir::{generate, GenConfig, GenFamily};
 
 /// 200 deterministic seeds, every mode, zero tolerated mismatches. Runs
 /// serially in well under a minute (the release campaign does 200 seeds in
@@ -60,6 +61,41 @@ fn scenario_families_are_oracle_equal_across_all_modes() {
             "{} family barely speculates: {}",
             family.label(),
             report.summary()
+        );
+    }
+}
+
+/// Phase-shift seeds whose data salts draw the adversarial pairing (the
+/// measurement input flips its dependence pattern early, the train input
+/// late) must drive the adaptive controller through at least one mid-run
+/// policy transition — asserted via the machine counters, not inferred
+/// from timing — and the adaptive run must recover violations the stale
+/// train profile leaves behind.
+#[test]
+fn phase_shift_seeds_exercise_policy_transitions() {
+    let cfg = FuzzConfig {
+        gen: GenConfig::for_family(GenFamily::PhaseShift),
+        ..FuzzConfig::default()
+    };
+    let opts = cfg.compile_options();
+    for seed in [4u64, 7, 16] {
+        let measure = generate(seed, &cfg.gen, 0);
+        let train = generate(seed, &cfg.gen, 1);
+        let h = Harness::from_modules(format!("phase_shift/{seed}"), &measure, Some(&train), &opts)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let t = h.run(Mode::CompilerTrain).expect("T runs");
+        let at = h.run_counted(Mode::AdaptiveTrain).expect("A-T runs");
+        let c = at.counters.as_deref().expect("a counted run publishes its bank");
+        assert!(
+            c.total_policy_transitions() >= 1,
+            "seed {seed}: no mid-run policy transition (counters: {:?})",
+            c.policy_transitions
+        );
+        assert!(
+            at.total_violations < t.total_violations,
+            "seed {seed}: A-T ({}) must recover violations vs T ({})",
+            at.total_violations,
+            t.total_violations
         );
     }
 }

@@ -124,6 +124,106 @@ fn phase_shift_degrades_trained_compiler_sync_but_not_hardware() {
 }
 
 #[test]
+fn adaptive_is_within_bounded_overhead_of_best_static_policy() {
+    // On stationary inputs the dependence pattern never shifts, so the
+    // adaptive controller has nothing to chase: after its first windows it
+    // must settle near one static policy and stay within a constant factor
+    // of whichever static mode is best for the workload. (The bound is
+    // loose — stalls taken while the controller learns are real — but it
+    // is a *bound*: an oscillating controller blows through it.)
+    for name in ["parser", "mcf"] {
+        let h = harness(name, Scale::Quick);
+        let best = [Mode::Unsync, Mode::CompilerRef, Mode::HwSync]
+            .into_iter()
+            .map(|m| region_cycles(&h, m))
+            .min()
+            .expect("nonempty");
+        let a = region_cycles(&h, Mode::Adaptive);
+        assert!(
+            a as f64 <= best as f64 * 2.0,
+            "{name}: adaptive ({a}) exceeds 2x the best static policy ({best})"
+        );
+    }
+}
+
+#[test]
+fn adaptive_beats_stale_train_profile_on_phase_shift() {
+    // The converse of `phase_shift_degrades_trained_compiler_sync...`: on
+    // seeds whose data salts draw the adversarial train/measure pairing
+    // (the measurement input flips its dependence pattern early, so phase
+    // B dominates a run the train profile never saw), the adaptive
+    // controller layered on the *same* stale module must strictly beat
+    // static train-profiled sync — and the win must be attributable to
+    // actual mid-run policy transitions, not noise.
+    let cfg = FuzzConfig {
+        gen: GenConfig::for_family(GenFamily::PhaseShift),
+        ..FuzzConfig::default()
+    };
+    let opts = cfg.compile_options();
+    let (mut t_cycles, mut at_cycles, mut t_viol, mut at_viol) = (0u64, 0u64, 0u64, 0u64);
+    let mut transitions = 0u64;
+    for seed in [4u64, 6, 7, 14, 15, 16, 35, 36, 44, 45] {
+        let measure = generate(seed, &cfg.gen, 0);
+        let train = generate(seed, &cfg.gen, 1);
+        let h = Harness::from_modules("phase_shift", &measure, Some(&train), &opts)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let t = h.run(Mode::CompilerTrain).expect("T runs");
+        let at = h.run_counted(Mode::AdaptiveTrain).expect("A-T runs");
+        t_cycles += t.region_cycles();
+        t_viol += t.total_violations;
+        at_cycles += at.region_cycles();
+        at_viol += at.total_violations;
+        transitions += at
+            .counters
+            .as_deref()
+            .expect("counted run publishes its bank")
+            .total_policy_transitions();
+    }
+    assert!(t_viol > 50, "the corpus must actually hurt T ({t_viol} violations)");
+    assert!(
+        at_cycles < t_cycles,
+        "adaptive must beat the stale profile: A-T {at_cycles} vs T {t_cycles} cycles"
+    );
+    assert!(
+        at_viol < t_viol / 10,
+        "adaptive must recover the violation storm: A-T {at_viol} vs T {t_viol}"
+    );
+    assert!(transitions > 0, "the win must come from mid-run policy transitions");
+}
+
+#[test]
+fn policy_transition_rate_is_scale_independent() {
+    // Scaling parser's iteration count leaves its dependence pattern
+    // untouched, so the controller must churn at the same per-epoch rate:
+    // transitions per committed epoch stay flat from 1x to 4x even though
+    // absolute transition counts grow with the run.
+    let mut rates = Vec::new();
+    for mult in [1u32, 4u32] {
+        let ws = tls_repro::workloads::Scale::new(mult, 1).expect("nonzero");
+        let scale = if ws.is_base() {
+            Scale::Quick
+        } else {
+            Scale::ScaledQuick(ws)
+        };
+        let h = harness("parser", scale);
+        let r = h.run_counted(Mode::AdaptiveUnsync).expect("A-U runs");
+        let c = r.counters.as_deref().expect("counted run publishes its bank");
+        let epochs: u64 = r.regions.values().map(|s| s.epochs).sum();
+        assert!(epochs > 0, "parser at {mult}x commits epochs");
+        rates.push(c.total_policy_transitions() as f64 / epochs as f64);
+    }
+    let (r1, r4) = (rates[0], rates[1]);
+    assert!(
+        r1 > 0.05,
+        "the controller must actually transition at base scale ({r1:.3}/epoch)"
+    );
+    assert!(
+        (r4 / r1 - 1.0).abs() < 0.3,
+        "transition rate drifted under scaling: {r1:.3}/epoch at 1x vs {r4:.3} at 4x"
+    );
+}
+
+#[test]
 fn scale_labels_round_trip_through_parse() {
     for s in ["quick", "ref", "ref:100x1", "quick:4x2"] {
         let parsed = Scale::parse(s).unwrap_or_else(|| panic!("`{s}` parses"));

@@ -10,9 +10,11 @@
 //! violation, the invariant the attribution reports rely on.
 
 use tls_repro::experiments::fuzz::FuzzConfig;
-use tls_repro::experiments::{spec_modes, Harness};
-use tls_repro::ir::generate;
-use tls_repro::sim::{check_event_stream, replay_slots, RecordingTracer, TraceEvent};
+use tls_repro::experiments::{spec_modes, Harness, Mode};
+use tls_repro::ir::{generate, GenConfig, GenFamily};
+use tls_repro::sim::{
+    check_event_stream, replay_slots, AdaptConfig, MachineCounters, RecordingTracer, TraceEvent,
+};
 
 const SEEDS: u64 = 30;
 
@@ -117,4 +119,67 @@ fn fuzz_corpus_event_streams_are_consistent() {
         seeds_with_samples >= 3,
         "only {seeds_with_samples}/{SEEDS} seeds emitted slot samples"
     );
+}
+
+/// The adaptive event surface, end to end: a phase-shift program run with
+/// a deliberately small controller window emits `PolicyTransition` *and*
+/// `Reprofile` events, the structural checker accepts the stream, the
+/// event counts equal the machine-counter bank, and the new events do not
+/// disturb the exact slot replay. (The default window is longer than these
+/// generated programs, so re-profiling needs the small-window config to
+/// fire at all — that is exactly why this test pins it.)
+#[test]
+fn adaptive_events_replay_and_match_counters() {
+    let cfg = FuzzConfig {
+        gen: GenConfig::for_family(GenFamily::PhaseShift),
+        ..FuzzConfig::default()
+    };
+    // Seed 16's measurement input flips its dependence pattern early, so a
+    // 100-cycle window sees new hot dependences plus fresh violations at a
+    // boundary — the re-profile trigger.
+    let measure = generate(16, &cfg.gen, 0);
+    let train = generate(16, &cfg.gen, 1);
+    let mut h = Harness::from_modules("adapt-trace", &measure, Some(&train), &cfg.compile_options())
+        .unwrap_or_else(|e| panic!("prepare failed: {e}"));
+    h.base.max_steps = cfg.max_sim_steps;
+    h.base.adapt = Some(AdaptConfig {
+        window: 100,
+        ..AdaptConfig::default()
+    });
+    let (w, cores) = (h.base.issue_width, h.base.cores as u64);
+    let mut rec = RecordingTracer::default();
+    let mut bank = MachineCounters::default();
+    let result = h
+        .run_instrumented(Mode::Unsync, &mut rec, &mut bank)
+        .unwrap_or_else(|e| panic!("adaptive unsync run: {e}"));
+    let events = rec.events;
+
+    check_event_stream(&events).unwrap_or_else(|e| panic!("bad adaptive stream: {e}"));
+
+    let transitions = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::PolicyTransition { .. }))
+        .count() as u64;
+    let reprofiles = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Reprofile { .. }))
+        .count() as u64;
+    let published = result.counters.as_deref().expect("instrumented run publishes counters");
+    assert!(transitions >= 1, "no policy transitions traced");
+    assert!(reprofiles >= 1, "the small window must force a re-profile");
+    assert_eq!(
+        transitions,
+        published.total_policy_transitions(),
+        "traced transitions vs counter bank"
+    );
+    assert_eq!(reprofiles, published.reprofiles, "traced re-profiles vs counter bank");
+
+    // The new event kinds must not disturb the exact replay invariant.
+    let replayed = replay_slots(&events, w, cores);
+    assert_eq!(replayed.len(), result.regions.len(), "region set");
+    for (rid, rep) in &replayed {
+        let reg = &result.regions[rid];
+        assert_eq!(rep.slots, reg.slots, "region {rid:?}: slot breakdown");
+        assert_eq!(rep.cycles, reg.cycles, "region {rid:?}: cycles");
+    }
 }
