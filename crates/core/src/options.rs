@@ -51,7 +51,7 @@ impl Default for CompileOptions {
 }
 
 /// Per-region summary recorded by the pipeline.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RegionSummary {
     /// Region id in the produced modules.
     pub id: RegionId,
@@ -68,7 +68,7 @@ pub struct RegionSummary {
 }
 
 /// What the pipeline did (sizes for reports and tests).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CompileReport {
     /// Scalar channels created.
     pub scalar_channels: usize,

@@ -18,13 +18,24 @@
 //! repro bench [--quick] [--scale S] [--workloads a,b,c] [--jobs N]
 //!             [--rounds N] [--out path] [--check baseline.json]
 //!             [--tolerance P] [--handicap X]
+//! repro campaign <fuzz|conform|inject> [--seed S] [--iters N] [--shard N]
+//!             [--workers W] [--family F] [--break-forwarding] [--bench B]
+//!             [--mode M] [--quick] [--scale S] [--faults F] [--rate R]
+//!             [--budget B] [--cache dir|--no-cache] [--artifacts dir]
+//!             [--resume] [--out path] [--max-attempts N] [--deadline SECS]
+//!             [--heartbeat-timeout SECS] [--backoff-ms N]
+//!             [--backoff-cap-ms N] [--worker-failures N] [--worker-exe path]
+//!             [--crash-shard K] [--crash-every-attempt]
+//!             [--die-after-checkpoints N]
+//! repro worker
 //!
 //! targets: fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 sweep adaptive
 //!          report all bench list run trace trace-check fuzz conform inject
-//!          metrics
+//!          metrics campaign worker
 //! global flags: --verbose --quiet --metrics path
 //! exit codes: 0 success, 2 usage, 3 simulation/internal error,
-//!             4 correctness-check failure, 5 performance regression
+//!             4 correctness-check failure, 5 performance regression,
+//!             6 campaign finished with partial coverage
 //! ```
 //!
 //! `--quick` measures the train inputs (fast); the default measures ref.
@@ -123,12 +134,40 @@
 //! `--out`, written as JSON. `--panic-plan K` deliberately panics the
 //! worker of plan index K (panic-isolation self-test: the campaign must
 //! complete with exactly that one worker error).
+//!
+//! `campaign` runs a fuzz, conformance or fault-injection campaign through
+//! the fault-tolerant orchestrator (`tls_experiments::orchestrate`): the
+//! seed range is split into `--shard`-sized shards dispatched to a pool of
+//! `--workers` respawnable `repro worker` subprocesses over a
+//! line-delimited JSON stdio protocol. Wedged workers (no heartbeat within
+//! `--heartbeat-timeout`, or a job exceeding `--deadline`) are killed;
+//! failed shards retry up to `--max-attempts` times with exponential
+//! backoff (`--backoff-ms` base, `--backoff-cap-ms` cap) plus
+//! deterministic jitter; a worker slot dying more than `--worker-failures`
+//! times is retired and the pool shrinks. Completed shards are checkpointed
+//! to an append-only, integrity-sealed journal under `--artifacts`, so
+//! after any crash — `kill -9` included — `--resume` merges the finished
+//! shards with the rest and produces a report byte-identical to an
+//! uninterrupted run. SIGINT/SIGTERM drain: in-flight shards finish, the
+//! journal and `--metrics` snapshot flush, and the partial report is
+//! written. A campaign that completes with shards still missing (retry or
+//! pool budget exhausted, or a drain) exits 6 — partial coverage — instead
+//! of pretending success or failure. Inject campaigns compile through a
+//! content-hashed, digest-verified on-disk compile cache (default
+//! `<artifacts>/cache`, disable with `--no-cache`); corrupt entries are
+//! detected, discarded and recompiled. `--crash-shard`,
+//! `--crash-every-attempt` and `--die-after-checkpoints` are self-test
+//! knobs that crash a worker mid-shard (every attempt, or just the first)
+//! or abort the orchestrator after N checkpoints, so CI can prove the
+//! recovery story end to end. `worker` is the subprocess side; it is not
+//! meant to be invoked by hand.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use tls_experiments::{
-    attrib, bench, conform, figures, fuzz, inject, metrics, par, Harness, Mode, Scale, Table,
-    MODES,
+    attrib, bench, conform, figures, fuzz, inject, metrics, orchestrate, par, proto, worker,
+    Harness, Mode, Scale, Table, MODES,
 };
 use tls_ir::{GenConfig, GenFamily};
 use tls_sim::{
@@ -158,6 +197,12 @@ enum CliError {
     /// committed baseline by more than the tolerance (exit 5). Distinct
     /// from `Check` so CI can tell "wrong answer" from "slow answer".
     Perf(String),
+    /// A campaign completed but with partial coverage — some shards never
+    /// finished (retry budget or worker pool exhausted, or a drain was
+    /// requested). Exit 6: distinct from both success and `Check` so CI
+    /// can tell "everything checked passed, but not everything ran" apart
+    /// from "something failed".
+    Partial(String),
 }
 
 impl CliError {
@@ -175,6 +220,10 @@ impl CliError {
             CliError::Perf(msg) => {
                 eprintln!("{msg}");
                 ExitCode::from(5)
+            }
+            CliError::Partial(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(6)
             }
         }
     }
@@ -198,11 +247,19 @@ fn usage() -> CliError {
          [--prom path]\n\
          \x20      repro bench [--quick] [--scale S] [--workloads a,b,c] [--jobs N] [--rounds N] \
          [--out path] [--check baseline.json] [--tolerance P] [--handicap X]\n\
+         \x20      repro campaign <fuzz|conform|inject> [--seed S] [--iters N] [--shard N] \
+         [--workers W] [--family F] [--break-forwarding] [--bench B] [--mode M] [--quick] \
+         [--scale S] [--faults F] [--rate R] [--budget B] [--cache dir|--no-cache] \
+         [--artifacts dir] [--resume] [--out path] [--max-attempts N] [--deadline SECS] \
+         [--heartbeat-timeout SECS] [--backoff-ms N] [--backoff-cap-ms N] [--worker-failures N] \
+         [--worker-exe path] [--crash-shard K] [--crash-every-attempt] \
+         [--die-after-checkpoints N]\n\
+         \x20      repro worker  (campaign worker subprocess; spawned by `repro campaign`)\n\
          \x20      --scale: quick | ref | NxM (N x iterations, M x footprint) | quick:NxM\n\
          \x20      --family: baseline | phase_shift | false_sharing | deep_clone | mixed_nests\n\
          \x20      global flags: --verbose --quiet --metrics path (host-metrics JSON snapshot)\n\
          \x20      exit codes: 0 ok, 2 usage, 3 sim/internal error, 4 check failure, \
-         5 perf regression"
+         5 perf regression, 6 partial campaign coverage"
     );
     CliError::Usage
 }
@@ -1049,6 +1106,257 @@ fn run_bench_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> 
     Ok(())
 }
 
+/// `repro campaign <fuzz|conform|inject>`: a sharded multi-process
+/// campaign through the fault-tolerant orchestrator.
+fn run_campaign_cmd(args: &[String], verbosity: Verbosity) -> Result<(), CliError> {
+    let span = metrics::span("campaign");
+    let Some((kind_name, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    let mut seed: u64 = 1;
+    let mut iters: u64 = 200;
+    let mut shard: u64 = 25;
+    let mut workers: usize = 4;
+    let mut family = GenFamily::Baseline;
+    let mut break_forwarding = false;
+    let mut bench_name: Option<String> = None;
+    let mut mode_label = String::from("C");
+    let mut scale = Scale::Full;
+    let mut faults = String::from("both");
+    let mut rate: f64 = 0.05;
+    let mut budget: u64 = 8;
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
+    let mut artifacts = String::from("results/campaign");
+    let mut resume = false;
+    let mut out: Option<String> = None;
+    let mut max_attempts: u64 = 3;
+    let mut deadline = Duration::from_secs(600);
+    let mut heartbeat_timeout = Duration::from_secs(120);
+    let mut backoff = Duration::from_millis(200);
+    let mut backoff_cap = Duration::from_millis(5000);
+    let mut worker_failures: u64 = 2;
+    let mut worker_exe: Option<String> = None;
+    let mut crash_shard: Option<u64> = None;
+    let mut crash_every_attempt = false;
+    let mut die_after_checkpoints: Option<u64> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => seed = n,
+                None => return Err(usage()),
+            },
+            "--iters" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => iters = n,
+                None => return Err(usage()),
+            },
+            "--shard" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => shard = n,
+                None => return Err(usage()),
+            },
+            "--workers" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => workers = n,
+                None => return Err(usage()),
+            },
+            "--family" => match it.next().and_then(|f| GenFamily::parse(f)) {
+                Some(f) => family = f,
+                None => return Err(usage()),
+            },
+            "--break-forwarding" => break_forwarding = true,
+            "--bench" => match it.next() {
+                Some(b) => bench_name = Some(b.clone()),
+                None => return Err(usage()),
+            },
+            "--mode" => match it.next() {
+                Some(m) => mode_label = m.clone(),
+                None => return Err(usage()),
+            },
+            "--quick" => scale = Scale::Quick,
+            "--scale" => match it.next() {
+                Some(s) => scale = parse_scale(s)?,
+                None => return Err(usage()),
+            },
+            "--faults" => match it.next() {
+                Some(f) => faults = f.clone(),
+                None => return Err(usage()),
+            },
+            "--rate" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => rate = n,
+                None => return Err(usage()),
+            },
+            "--budget" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => budget = n,
+                None => return Err(usage()),
+            },
+            "--cache" => match it.next() {
+                Some(d) => cache_dir = Some(d.clone()),
+                None => return Err(usage()),
+            },
+            "--no-cache" => no_cache = true,
+            "--artifacts" => match it.next() {
+                Some(d) => artifacts = d.clone(),
+                None => return Err(usage()),
+            },
+            "--resume" => resume = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return Err(usage()),
+            },
+            "--max-attempts" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => max_attempts = n,
+                None => return Err(usage()),
+            },
+            "--deadline" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(secs) => deadline = Duration::from_secs(secs),
+                None => return Err(usage()),
+            },
+            "--heartbeat-timeout" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(secs) => heartbeat_timeout = Duration::from_secs(secs),
+                None => return Err(usage()),
+            },
+            "--backoff-ms" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(ms) => backoff = Duration::from_millis(ms),
+                None => return Err(usage()),
+            },
+            "--backoff-cap-ms" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(ms) => backoff_cap = Duration::from_millis(ms),
+                None => return Err(usage()),
+            },
+            "--worker-failures" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => worker_failures = n,
+                None => return Err(usage()),
+            },
+            "--worker-exe" => match it.next() {
+                Some(p) => worker_exe = Some(p.clone()),
+                None => return Err(usage()),
+            },
+            "--crash-shard" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => crash_shard = Some(n),
+                None => return Err(usage()),
+            },
+            "--crash-every-attempt" => crash_every_attempt = true,
+            "--die-after-checkpoints" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => die_after_checkpoints = Some(n),
+                None => return Err(usage()),
+            },
+            _ => return Err(usage()),
+        }
+    }
+    let kind = match kind_name.as_str() {
+        "fuzz" => proto::JobSpec::Fuzz {
+            family,
+            break_forwarding,
+        },
+        "conform" => proto::JobSpec::Conform { family },
+        "inject" => {
+            let Some(bench_name) = bench_name else {
+                eprintln!("campaign inject needs --bench <workload>");
+                return Err(CliError::Usage);
+            };
+            if tls_workloads::by_name(&bench_name).is_none() {
+                return Err(CliError::Sim(format!("unknown workload `{bench_name}`")));
+            }
+            if Mode::from_label(&mode_label).is_none() {
+                return Err(CliError::Sim(format!("unknown mode `{mode_label}`")));
+            }
+            inject::Partition::parse(&faults).map_err(|e| {
+                eprintln!("{e}");
+                CliError::Usage
+            })?;
+            let cache = if no_cache {
+                None
+            } else {
+                Some(cache_dir.unwrap_or_else(|| format!("{artifacts}/cache")))
+            };
+            proto::JobSpec::Inject {
+                bench: bench_name,
+                mode: mode_label,
+                scale: scale.label(),
+                faults,
+                rate,
+                budget,
+                cache,
+            }
+        }
+        other => {
+            eprintln!("unknown campaign kind `{other}` (expected fuzz, conform or inject)");
+            return Err(CliError::Usage);
+        }
+    };
+    let worker_cmd = match worker_exe {
+        Some(exe) => vec![exe, "worker".to_string()],
+        None => {
+            let exe = std::env::current_exe()
+                .map_err(|e| CliError::Sim(format!("cannot locate own executable: {e}")))?;
+            vec![exe.display().to_string(), "worker".to_string()]
+        }
+    };
+    let spec = orchestrate::CampaignSpec {
+        kind,
+        seed0: seed,
+        total: iters,
+        shard_size: shard,
+        workers,
+        max_attempts,
+        worker_failure_budget: worker_failures,
+        job_deadline: deadline,
+        heartbeat_timeout,
+        backoff_base: backoff,
+        backoff_cap,
+        artifacts: std::path::PathBuf::from(&artifacts),
+        resume,
+        worker_cmd,
+        crash_shard,
+        crash_every_attempt,
+        die_after_checkpoints,
+    };
+    orchestrate::install_signal_handlers();
+    if verbosity > Verbosity::Quiet {
+        eprintln!(
+            "campaign {kind_name}: {iters} seed(s) from {seed} in shards of {shard} across \
+             {workers} worker(s){}...",
+            if resume { ", resuming from the journal" } else { "" }
+        );
+    }
+    let report = orchestrate::run_campaign(&spec).map_err(CliError::Sim)?;
+    println!("{}", report.summary());
+    if !report.merged.failed.is_empty() {
+        println!("  failed seeds: {:?}", report.merged.failed);
+    }
+    if !report.merged.errored.is_empty() {
+        println!("  errored seeds: {:?}", report.merged.errored);
+    }
+    if let Some(path) = out {
+        write_out(&path, &report.to_json())?;
+    }
+    report_resources(verbosity, span);
+    if report.partial() {
+        Err(CliError::Partial(format!(
+            "partial coverage: {} of {} shard(s) incomplete",
+            report.incomplete.len(),
+            report.incomplete.len() + report.completed.len()
+        )))
+    } else if report.failed() {
+        Err(CliError::Check(format!(
+            "{} seed(s) failed their checks, {} unsound plan(s)",
+            report.merged.failed.len(),
+            report.merged.unsound
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// `repro worker`: the campaign worker subprocess. Speaks the
+/// line-delimited JSON protocol on stdin/stdout; everything human goes to
+/// stderr.
+fn run_worker_cmd() -> Result<(), CliError> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    worker::serve(stdin.lock(), stdout.lock()).map_err(CliError::Sim)
+}
+
 fn write_out(path: &str, contents: &str) -> Result<(), CliError> {
     std::fs::write(path, contents)
         .map_err(|e| CliError::Sim(format!("failed to write {path}: {e}")))?;
@@ -1211,6 +1519,8 @@ fn real_main() -> Result<(), CliError> {
         "trace-check" => run_trace_check_cmd(&args[1..]),
         "metrics" => run_metrics_cmd(&args[1..], verbosity),
         "bench" => run_bench_cmd(&args[1..], verbosity),
+        "campaign" => run_campaign_cmd(&args[1..], verbosity),
+        "worker" => run_worker_cmd(),
         t => run_figures(t, &args[1..], verbosity),
     };
     // The host-metrics snapshot is written even when the subcommand failed

@@ -1,0 +1,632 @@
+//! Content-hashed, integrity-verified on-disk compile cache.
+//!
+//! `prep_ms` rivals `sim_ms` on most workloads (profiling plus three
+//! module transformations per harness), and a sharded campaign repeats
+//! that preparation in every worker process. The cache keys a compilation
+//! by *content* — the serialized measurement module, the serialized train
+//! module (or its absence) and the full [`CompileOptions`] — and stores
+//! both [`CompilationSet`]s of a harness as one entry.
+//!
+//! Entries are **verified, never trusted**: each entry file carries an
+//! FNV-1a digest of its payload, and the payload echoes its own key. A
+//! truncated, bit-flipped or stale-format entry fails the digest (or the
+//! parse, or the key echo), is counted under `cache.corrupt`, deleted,
+//! and recompiled — the cache can only ever cost a recompile, never
+//! corrupt a result. Entry writes go through [`crate::journal::write_atomic`]
+//! so a crash mid-store leaves no torn entry behind.
+//!
+//! Layout: `<dir>/<key as 16 hex digits>.tlscache`, one entry per key,
+//! first line `tlscache <version> <payload digest>`, then a line-oriented
+//! counts-first payload (modules via [`tls_ir::serial`], floats via the
+//! shortest round-trip `{}` form).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tls_core::{
+    compile_all, CompilationSet, CompileError, CompileOptions, CompileReport, RegionSummary,
+};
+use tls_ir::{serial, BlockId, FuncId, Module, RegionId, Sid};
+use tls_profile::{DepEdge, DepProfile, LoopKey, LoopProfile, VertexKey, DIST_BUCKETS};
+
+use crate::journal::{fnv64, fnv64_extend, write_atomic};
+use crate::metrics;
+
+/// Bumped whenever the entry payload format changes: old entries then miss
+/// on their key (the version participates in hashing) instead of parsing
+/// wrong.
+const FORMAT_VERSION: u32 = 1;
+
+/// Counter snapshot of a cache instance (see [`CompileCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries served from disk with a verified digest.
+    pub hits: u64,
+    /// Keys that had no entry on disk.
+    pub misses: u64,
+    /// Entries rejected by digest/parse/key verification (then deleted
+    /// and recompiled).
+    pub corrupt: u64,
+}
+
+/// A content-addressed store of compiled harness pipelines.
+pub struct CompileCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl CompileCache {
+    /// A cache rooted at `dir` (created on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// This instance's hit/miss/corruption counters. The same counts are
+    /// published to the metrics registry as `cache.hits` / `cache.misses` /
+    /// `cache.corrupt`; the per-instance copy is what a worker process
+    /// reports back to the orchestrator as a delta per job.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The entry file a key maps to (exposed so integrity tests can
+    /// corrupt an entry in place).
+    pub fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.tlscache"))
+    }
+
+    /// Compile `measure`/`train` under `opts`, serving from the cache when
+    /// a verified entry exists and storing the result when it does not.
+    /// Returns the harness pair (`set_c`, `set_t`) exactly as
+    /// [`tls_core::compile_all`] would have produced it.
+    ///
+    /// # Errors
+    /// Propagates [`CompileError`] from an actual compilation; cache
+    /// failures (missing, corrupt, unwritable) never error, they recompile.
+    pub fn get_or_compile(
+        &self,
+        measure: &Module,
+        train: Option<&Module>,
+        opts: &CompileOptions,
+    ) -> Result<(CompilationSet, CompilationSet), CompileError> {
+        let key = cache_key(measure, train, opts);
+        if let Some(pair) = self.lookup(key) {
+            return Ok(pair);
+        }
+        let set_c = compile_all(measure, measure, opts)?;
+        let set_t = match train {
+            None => set_c.clone(),
+            Some(t) => compile_all(measure, t, opts)?,
+        };
+        self.store(key, &set_c, &set_t);
+        Ok((set_c, set_t))
+    }
+
+    /// Load and verify the entry for `key`; `None` on miss or corruption
+    /// (a corrupt entry is deleted so the recompile can replace it).
+    pub fn lookup(&self, key: u64) -> Option<(CompilationSet, CompilationSet)> {
+        let path = self.entry_path(key);
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                metrics::add_counter("cache.misses", 1);
+                return None;
+            }
+            Err(_) => return self.reject(&path),
+        };
+        match verify_entry(&raw, key) {
+            Ok(pair) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                metrics::add_counter("cache.hits", 1);
+                Some(pair)
+            }
+            Err(why) => {
+                eprintln!(
+                    "warning: discarding corrupt compile-cache entry {}: {why}",
+                    path.display()
+                );
+                self.reject(&path)
+            }
+        }
+    }
+
+    /// Persist an entry (best effort: an unwritable cache only warns —
+    /// the compilation already succeeded).
+    pub fn store(&self, key: u64, set_c: &CompilationSet, set_t: &CompilationSet) {
+        let payload = encode_pair(key, set_c, set_t);
+        let entry = format!(
+            "tlscache {FORMAT_VERSION} {:016x}\n{payload}",
+            fnv64(payload.as_bytes())
+        );
+        if let Err(e) = write_atomic(&self.entry_path(key), &entry) {
+            eprintln!(
+                "warning: failed to write compile-cache entry {}: {e}",
+                self.entry_path(key).display()
+            );
+        }
+    }
+
+    /// Count a corrupt entry, delete it, and report a miss to the caller.
+    fn reject(&self, path: &Path) -> Option<(CompilationSet, CompilationSet)> {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        metrics::add_counter("cache.corrupt", 1);
+        let _ = std::fs::remove_file(path);
+        None
+    }
+}
+
+/// The content hash identifying one compilation: format version, serialized
+/// measurement module, serialized train module (`-` when absent, which is a
+/// *different* compilation than train == measure), and every compile
+/// option. Module serialization is canonical ([`tls_ir::serial`] text), so
+/// equal programs hash equal regardless of how they were built.
+pub fn cache_key(measure: &Module, train: Option<&Module>, opts: &CompileOptions) -> u64 {
+    let mut h = fnv64(b"tlscache");
+    h = fnv64_extend(h, &FORMAT_VERSION.to_le_bytes());
+    h = fnv64_extend(h, serial::to_text(measure).as_bytes());
+    h = fnv64_extend(h, b"|train|");
+    match train {
+        Some(t) => h = fnv64_extend(h, serial::to_text(t).as_bytes()),
+        None => h = fnv64_extend(h, b"-"),
+    }
+    h = fnv64_extend(h, b"|opts|");
+    h = fnv64_extend(h, canonical_options(opts).as_bytes());
+    h
+}
+
+/// Canonical one-line rendering of [`CompileOptions`] for hashing. Floats
+/// use the shortest round-trip form, so two options structs hash equal iff
+/// they compare equal field by field.
+fn canonical_options(o: &CompileOptions) -> String {
+    let mut s = format!(
+        "freq={} cov={} trip={} epoch={} unroll={} target={} max={} memsync={} sched={} only=",
+        o.freq_threshold,
+        o.min_coverage,
+        o.min_avg_trip,
+        o.min_epoch_size,
+        o.unroll_small_loops,
+        o.unroll_target,
+        o.max_unroll,
+        o.insert_memory_sync,
+        o.schedule_signals,
+    );
+    match &o.only_loops {
+        None => s.push('-'),
+        Some(keys) => {
+            for k in keys {
+                s.push_str(&format!("{}:{},", k.func.0, k.header.0));
+            }
+        }
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------------
+
+fn encode_pair(key: u64, set_c: &CompilationSet, set_t: &CompilationSet) -> String {
+    let mut out = format!("key {key:016x}\n");
+    encode_set(&mut out, set_c);
+    encode_set(&mut out, set_t);
+    out
+}
+
+fn encode_set(out: &mut String, set: &CompilationSet) {
+    for m in [&set.seq, &set.unsync, &set.synced] {
+        let text = serial::to_text(m);
+        out.push_str(&format!("module {}\n", text.lines().count()));
+        out.push_str(&text);
+    }
+    let mut marked: Vec<u32> = set.marked_loads.iter().map(|s| s.0).collect();
+    marked.sort_unstable();
+    out.push_str("marked");
+    for s in marked {
+        out.push_str(&format!(" {s}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("regions {}\n", set.regions.len()));
+    for r in &set.regions {
+        out.push_str(&format!(
+            "region {} {} {} {} {} {} {}\n",
+            r.id.0, r.loop_key.func.0, r.loop_key.header.0, r.coverage, r.avg_trip,
+            r.avg_epoch_size, r.unroll
+        ));
+    }
+    let rep = &set.report;
+    out.push_str(&format!(
+        "report {} {} {} {} {} {} {} {}\n",
+        rep.scalar_channels,
+        rep.privatized,
+        rep.groups,
+        rep.sync_loads,
+        rep.signalled_stores,
+        rep.clones,
+        rep.static_before,
+        rep.static_after
+    ));
+    encode_profile(out, &set.dep_profile);
+}
+
+fn encode_profile(out: &mut String, p: &DepProfile) {
+    let ctxs = p.ctx_paths();
+    out.push_str(&format!(
+        "profile {} {} {}\n",
+        p.total_dyn_instrs,
+        ctxs.len(),
+        p.loops.len()
+    ));
+    for path in ctxs {
+        out.push_str("ctx");
+        for sid in path {
+            out.push_str(&format!(" {}", sid.0));
+        }
+        out.push('\n');
+    }
+    let mut loop_keys: Vec<&LoopKey> = p.loops.keys().collect();
+    loop_keys.sort_unstable();
+    for key in loop_keys {
+        let lp = &p.loops[key];
+        out.push_str(&format!(
+            "loop {} {} {} {} {} {} {} {}\n",
+            key.func.0,
+            key.header.0,
+            lp.instances,
+            lp.total_iters,
+            lp.dyn_instrs,
+            lp.edges.len(),
+            lp.load_dep_epochs.len(),
+            lp.load_dep_epochs_by_sid.len()
+        ));
+        let mut edges: Vec<(&(VertexKey, VertexKey), &DepEdge)> = lp.edges.iter().collect();
+        edges.sort_unstable_by_key(|(k, _)| **k);
+        for ((s, l), e) in edges {
+            out.push_str(&format!(
+                "edge {} {} {} {} {} {} {}",
+                s.sid.0, s.ctx, l.sid.0, l.ctx, e.epochs, e.epochs_d1, e.occurrences
+            ));
+            for b in e.dist_hist {
+                out.push_str(&format!(" {b}"));
+            }
+            out.push('\n');
+        }
+        let mut ldep: Vec<(&VertexKey, &u64)> = lp.load_dep_epochs.iter().collect();
+        ldep.sort_unstable_by_key(|(k, _)| **k);
+        for (v, n) in ldep {
+            out.push_str(&format!("ldep {} {} {n}\n", v.sid.0, v.ctx));
+        }
+        let mut lsid: Vec<(&Sid, &u64)> = lp.load_dep_epochs_by_sid.iter().collect();
+        lsid.sort_unstable_by_key(|(k, _)| **k);
+        for (s, n) in lsid {
+            out.push_str(&format!("lsid {} {n}\n", s.0));
+        }
+    }
+}
+
+/// Verify an entry file's digest and decode its payload, checking the key
+/// echo matches `key`.
+fn verify_entry(raw: &str, key: u64) -> Result<(CompilationSet, CompilationSet), String> {
+    let (header, payload) = raw
+        .split_once('\n')
+        .ok_or_else(|| "entry has no header line".to_string())?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("tlscache") {
+        return Err("bad magic".into());
+    }
+    let version: u32 = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| "bad version".to_string())?;
+    if version != FORMAT_VERSION {
+        return Err(format!("format version {version}, expected {FORMAT_VERSION}"));
+    }
+    let digest = parts
+        .next()
+        .and_then(|d| u64::from_str_radix(d, 16).ok())
+        .ok_or_else(|| "bad digest field".to_string())?;
+    if digest != fnv64(payload.as_bytes()) {
+        return Err("payload digest mismatch".into());
+    }
+    let mut cur = Lines::new(payload);
+    let key_line = cur.next_line()?;
+    let echoed = key_line
+        .strip_prefix("key ")
+        .and_then(|k| u64::from_str_radix(k, 16).ok())
+        .ok_or_else(|| format!("bad key line `{key_line}`"))?;
+    if echoed != key {
+        return Err(format!("key echo {echoed:016x} does not match {key:016x}"));
+    }
+    let set_c = decode_set(&mut cur)?;
+    let set_t = decode_set(&mut cur)?;
+    if cur.next().is_some() {
+        return Err("trailing data after the second compilation set".into());
+    }
+    Ok((set_c, set_t))
+}
+
+/// Line cursor over a payload.
+struct Lines<'a> {
+    it: std::str::Lines<'a>,
+    line: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            it: text.lines(),
+            line: 0,
+        }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        self.line += 1;
+        self.it.next()
+    }
+
+    fn next_line(&mut self) -> Result<&'a str, String> {
+        self.next()
+            .ok_or_else(|| format!("unexpected end of payload after line {}", self.line))
+    }
+
+    /// Expect a line of the form `<tag> <field>...` and return the fields.
+    fn tagged(&mut self, tag: &str) -> Result<Vec<&'a str>, String> {
+        let line = self.next_line()?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some(tag) {
+            return Err(format!("payload line {}: expected `{tag} ...`, got `{line}`", self.line));
+        }
+        Ok(parts.collect())
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(fields: &[&str], i: usize, what: &str) -> Result<T, String> {
+    fields
+        .get(i)
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| format!("bad or missing {what} field {i}"))
+}
+
+fn decode_module(cur: &mut Lines<'_>) -> Result<Module, String> {
+    let fields = cur.tagged("module")?;
+    let n: usize = parse_num(&fields, 0, "module line count")?;
+    let mut text = String::new();
+    for _ in 0..n {
+        text.push_str(cur.next_line()?);
+        text.push('\n');
+    }
+    serial::parse(&text).map_err(|e| format!("module parse: line {}: {}", e.line, e.msg))
+}
+
+fn decode_set(cur: &mut Lines<'_>) -> Result<CompilationSet, String> {
+    let seq = decode_module(cur)?;
+    let unsync = decode_module(cur)?;
+    let synced = decode_module(cur)?;
+    let marked = cur
+        .tagged("marked")?
+        .iter()
+        .map(|f| f.parse().map(Sid).map_err(|_| format!("bad marked sid `{f}`")))
+        .collect::<Result<_, _>>()?;
+    let nregions: usize = parse_num(&cur.tagged("regions")?, 0, "region count")?;
+    let mut regions = Vec::with_capacity(nregions);
+    for _ in 0..nregions {
+        let f = cur.tagged("region")?;
+        regions.push(RegionSummary {
+            id: RegionId(parse_num(&f, 0, "region id")?),
+            loop_key: LoopKey {
+                func: FuncId(parse_num(&f, 1, "region func")?),
+                header: BlockId(parse_num(&f, 2, "region header")?),
+            },
+            coverage: parse_num(&f, 3, "region coverage")?,
+            avg_trip: parse_num(&f, 4, "region avg_trip")?,
+            avg_epoch_size: parse_num(&f, 5, "region avg_epoch_size")?,
+            unroll: parse_num(&f, 6, "region unroll")?,
+        });
+    }
+    let f = cur.tagged("report")?;
+    let report = CompileReport {
+        scalar_channels: parse_num(&f, 0, "report")?,
+        privatized: parse_num(&f, 1, "report")?,
+        groups: parse_num(&f, 2, "report")?,
+        sync_loads: parse_num(&f, 3, "report")?,
+        signalled_stores: parse_num(&f, 4, "report")?,
+        clones: parse_num(&f, 5, "report")?,
+        static_before: parse_num(&f, 6, "report")?,
+        static_after: parse_num(&f, 7, "report")?,
+    };
+    let dep_profile = decode_profile(cur)?;
+    Ok(CompilationSet {
+        seq,
+        unsync,
+        synced,
+        marked_loads: marked,
+        regions,
+        report,
+        dep_profile,
+    })
+}
+
+fn decode_profile(cur: &mut Lines<'_>) -> Result<DepProfile, String> {
+    let f = cur.tagged("profile")?;
+    let total_dyn_instrs: u64 = parse_num(&f, 0, "profile total")?;
+    let nctx: usize = parse_num(&f, 1, "profile ctx count")?;
+    let nloops: usize = parse_num(&f, 2, "profile loop count")?;
+    let mut ctx_paths = Vec::with_capacity(nctx);
+    for _ in 0..nctx {
+        ctx_paths.push(
+            cur.tagged("ctx")?
+                .iter()
+                .map(|s| s.parse().map(Sid).map_err(|_| format!("bad ctx sid `{s}`")))
+                .collect::<Result<Vec<_>, _>>()?,
+        );
+    }
+    let mut loops = HashMap::with_capacity(nloops);
+    for _ in 0..nloops {
+        let f = cur.tagged("loop")?;
+        let key = LoopKey {
+            func: FuncId(parse_num(&f, 0, "loop func")?),
+            header: BlockId(parse_num(&f, 1, "loop header")?),
+        };
+        let (nedges, nldep, nlsid): (usize, usize, usize) = (
+            parse_num(&f, 5, "loop edge count")?,
+            parse_num(&f, 6, "loop ldep count")?,
+            parse_num(&f, 7, "loop lsid count")?,
+        );
+        let mut lp = LoopProfile {
+            instances: parse_num(&f, 2, "loop instances")?,
+            total_iters: parse_num(&f, 3, "loop iters")?,
+            dyn_instrs: parse_num(&f, 4, "loop dyn_instrs")?,
+            ..LoopProfile::default()
+        };
+        for _ in 0..nedges {
+            let f = cur.tagged("edge")?;
+            let store = VertexKey {
+                sid: Sid(parse_num(&f, 0, "edge store sid")?),
+                ctx: parse_num(&f, 1, "edge store ctx")?,
+            };
+            let load = VertexKey {
+                sid: Sid(parse_num(&f, 2, "edge load sid")?),
+                ctx: parse_num(&f, 3, "edge load ctx")?,
+            };
+            let mut e = DepEdge {
+                epochs: parse_num(&f, 4, "edge epochs")?,
+                epochs_d1: parse_num(&f, 5, "edge epochs_d1")?,
+                occurrences: parse_num(&f, 6, "edge occurrences")?,
+                dist_hist: [0; DIST_BUCKETS],
+            };
+            for (b, slot) in e.dist_hist.iter_mut().enumerate() {
+                *slot = parse_num(&f, 7 + b, "edge hist bucket")?;
+            }
+            lp.edges.insert((store, load), e);
+        }
+        for _ in 0..nldep {
+            let f = cur.tagged("ldep")?;
+            let v = VertexKey {
+                sid: Sid(parse_num(&f, 0, "ldep sid")?),
+                ctx: parse_num(&f, 1, "ldep ctx")?,
+            };
+            lp.load_dep_epochs.insert(v, parse_num(&f, 2, "ldep epochs")?);
+        }
+        for _ in 0..nlsid {
+            let f = cur.tagged("lsid")?;
+            lp.load_dep_epochs_by_sid
+                .insert(Sid(parse_num(&f, 0, "lsid sid")?), parse_num(&f, 1, "lsid epochs")?);
+        }
+        loops.insert(key, lp);
+    }
+    Ok(DepProfile::from_parts(loops, total_dyn_instrs, ctx_paths))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tls_ir::{generate, GenConfig};
+
+    fn sets_equal(a: &CompilationSet, b: &CompilationSet) -> bool {
+        a.seq == b.seq
+            && a.unsync == b.unsync
+            && a.synced == b.synced
+            && a.marked_loads == b.marked_loads
+            && a.regions == b.regions
+            && a.report == b.report
+            && a.dep_profile == b.dep_profile
+    }
+
+    fn test_modules() -> (Module, Module) {
+        // A generated program pair (measure + train salt) big enough to
+        // produce regions, sync loads and a multi-loop profile.
+        (
+            generate(11, &GenConfig::default(), 0),
+            generate(11, &GenConfig::default(), 1),
+        )
+    }
+
+    #[test]
+    fn round_trips_a_compiled_pair_through_disk() {
+        let dir = std::env::temp_dir().join(format!("tls_cache_rt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (measure, train) = test_modules();
+        let opts = CompileOptions {
+            min_coverage: 0.0,
+            min_avg_trip: 1.0,
+            min_epoch_size: 1.0,
+            ..CompileOptions::default()
+        };
+        let cache = CompileCache::new(&dir);
+        let (c1, t1) = cache.get_or_compile(&measure, Some(&train), &opts).expect("compiles");
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 0, misses: 1, corrupt: 0 },
+            "first build misses"
+        );
+        let (c2, t2) = cache.get_or_compile(&measure, Some(&train), &opts).expect("loads");
+        assert_eq!(cache.stats().hits, 1, "second build hits");
+        assert!(sets_equal(&c1, &c2), "cached set_c identical");
+        assert!(sets_equal(&t1, &t2), "cached set_t identical");
+        // A different option set is a different key.
+        let other = CompileOptions { freq_threshold: 0.25, ..opts.clone() };
+        assert_ne!(
+            cache_key(&measure, Some(&train), &opts),
+            cache_key(&measure, Some(&train), &other)
+        );
+        // train-absent vs train-identical are distinct compilations.
+        assert_ne!(
+            cache_key(&measure, None, &opts),
+            cache_key(&measure, Some(&measure), &opts)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_rejected_and_recompiled_identically() {
+        let dir = std::env::temp_dir().join(format!("tls_cache_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (measure, _) = test_modules();
+        let opts = CompileOptions {
+            min_coverage: 0.0,
+            min_avg_trip: 1.0,
+            min_epoch_size: 1.0,
+            ..CompileOptions::default()
+        };
+        let cache = CompileCache::new(&dir);
+        let (c1, _) = cache.get_or_compile(&measure, None, &opts).expect("compiles");
+        let key = cache_key(&measure, None, &opts);
+        let path = cache.entry_path(key);
+
+        // Flip one byte in the middle of the stored payload.
+        let mut bytes = std::fs::read(&path).expect("entry exists");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).expect("rewrite corrupted");
+
+        let (c2, _) = cache.get_or_compile(&measure, None, &opts).expect("recompiles");
+        let stats = cache.stats();
+        assert_eq!(stats.corrupt, 1, "corruption detected exactly once");
+        assert!(sets_equal(&c1, &c2), "recompiled result unchanged");
+        assert!(!path.exists() || cache.lookup(key).is_some(), "entry was replaced or dropped");
+
+        // A truncated entry is equally rejected.
+        let full = std::fs::read(&path).expect("restored entry");
+        std::fs::write(&path, &full[..full.len() / 3]).expect("truncate");
+        assert!(cache.lookup(key).is_none());
+        assert_eq!(cache.stats().corrupt, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -56,6 +56,11 @@ pub struct FuzzConfig {
     /// a self-test of panic isolation: the campaign must complete and
     /// report exactly one structured [`par::RunError`].
     pub panic_on_seed: Option<u64>,
+    /// Hard wall-clock budget per seed: a seed that runs longer is recorded
+    /// as a [`par::RunErrorKind::Timeout`] run error (and lands in the
+    /// journal's `errored=` list, so `--resume` retries it) instead of
+    /// silently dominating the campaign's tail latency.
+    pub seed_budget: std::time::Duration,
 }
 
 impl Default for FuzzConfig {
@@ -68,6 +73,9 @@ impl Default for FuzzConfig {
             max_interp_steps: 2_000_000,
             max_sim_steps: 20_000_000,
             panic_on_seed: None,
+            // Generous: the step caps bound simulated work, so only a host
+            // pathologically starved of CPU should ever hit this.
+            seed_budget: std::time::Duration::from_secs(1200),
         }
     }
 }
@@ -683,7 +691,17 @@ pub fn run_fuzz_resumable(
         };
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot resume: read {}: {e}", path.display()))?;
-        let prev = Journal::parse(&text)?;
+        // Checkpoints are written atomically, but a journal produced by an
+        // older build (or a copy truncated in transit) may end mid-line;
+        // the torn tail is dropped rather than refusing to resume.
+        let (clean, torn) = crate::journal::drop_torn_tail(&text);
+        if torn {
+            eprintln!(
+                "warning: fuzz journal {} has a torn final line; resuming from the intact prefix",
+                path.display()
+            );
+        }
+        let prev = Journal::parse(clean)?;
         if prev.seed0 != seed0 || prev.iters != iters {
             return Err(format!(
                 "journal {} records a campaign of {} seed(s) from {}, not {iters} from {seed0}",
@@ -718,19 +736,18 @@ pub fn run_fuzz_resumable(
         crate::metrics::set_gauge("fuzz.journal.done", j.done as f64);
         crate::metrics::set_gauge("fuzz.journal.total", j.iters as f64);
         if let Some(path) = &journal_path {
-            let write = path
-                .parent()
-                .map_or(Ok(()), std::fs::create_dir_all)
-                .and_then(|()| std::fs::write(path, j.render()));
-            if let Err(e) = write {
+            // Atomic tmp+rename: a kill mid-checkpoint leaves the previous
+            // complete journal, never a torn one.
+            if let Err(e) = crate::journal::write_atomic(path, &j.render()) {
                 eprintln!("warning: failed to write fuzz journal {}: {e}", path.display());
             }
         }
     };
     let process = |seeds: &[u64], j: &mut Journal, report: &mut FuzzReport| {
-        let outcomes = par::par_map_isolated(
+        let outcomes = par::par_map_isolated_budgeted(
             seeds.to_vec(),
             std::time::Duration::from_secs(300),
+            Some(cfg.seed_budget),
             |_, seed| format!("fuzz seed {seed}"),
             |_, seed| {
                 if cfg.panic_on_seed == Some(seed) {
@@ -919,6 +936,46 @@ mod tests {
         assert!(resumed.failures.is_empty());
         // A mismatched range is refused.
         assert!(run_fuzz_resumable(9, 4, &FuzzConfig::default(), Some(&dir), true).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_tolerates_a_torn_journal_tail() {
+        let dir = std::env::temp_dir().join(format!("tls_fuzz_torn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // A checkpoint of 4 seeds done out of 6 whose writer was killed
+        // mid-line: the final `errored=` record lost its value and newline.
+        std::fs::write(
+            dir.join("journal.txt"),
+            "seed0=1\niters=6\ndone=4\nregions=3\nsync_loads=2\nviolations=1\n\
+             oracle_steps=777\nerrored=",
+        )
+        .expect("write fixture");
+        let report = run_fuzz_resumable(1, 6, &FuzzConfig::default(), Some(&dir), true)
+            .expect("torn journal resumes from the intact prefix");
+        // The torn `errored=` line is dropped, so only seeds 5..6 rerun.
+        assert!(report.run_errors.is_empty());
+        assert!(report.failures.is_empty());
+        let j = Journal::parse(
+            &std::fs::read_to_string(dir.join("journal.txt")).expect("rewritten"),
+        )
+        .expect("rewritten journal parses");
+        assert_eq!(j.done, 6, "campaign completed from the recovered prefix");
+        assert!(j.errored.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoints_leave_no_tmp_file_behind() {
+        let dir = std::env::temp_dir().join(format!("tls_fuzz_atomic_{}", std::process::id()));
+        let report = run_fuzz_resumable(3, 2, &FuzzConfig::default(), Some(&dir), false)
+            .expect("fresh campaign");
+        assert!(report.failures.is_empty());
+        assert!(dir.join("journal.txt").exists());
+        assert!(
+            !dir.join("journal.tmp").exists(),
+            "atomic writes rename their temp file away"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -352,8 +352,16 @@ impl DegradationReport {
     }
 }
 
-/// Run one plan and judge it by its class's partition.
-fn run_plan(h: &Harness, mode: Mode, seed: u64, class: FaultClass, cfg: &InjectConfig) -> PlanResult {
+/// Run one plan and judge it by its class's partition. Crate-visible so the
+/// campaign worker ([`crate::worker`]) can run shard-sized plan ranges with
+/// exactly the judging a single-process campaign applies.
+pub(crate) fn run_plan(
+    h: &Harness,
+    mode: Mode,
+    seed: u64,
+    class: FaultClass,
+    cfg: &InjectConfig,
+) -> PlanResult {
     let plan = FaultPlan::seeded(seed, &[class], cfg.rate, cfg.budget);
     let mut out = PlanResult {
         plan_seed: seed,

@@ -39,14 +39,19 @@
 
 pub mod attrib;
 pub mod bench;
+pub mod cache;
 pub mod conform;
 pub mod figures;
 pub mod fuzz;
 mod harness;
 pub mod inject;
+pub mod journal;
 pub mod metrics;
+pub mod orchestrate;
 pub mod par;
+pub mod proto;
 mod report;
+pub mod worker;
 
 pub use harness::{
     spec_modes, ExperimentError, Harness, Mode, ProgramStats, RegionBar, Scale, MODES,

@@ -81,9 +81,21 @@ where
         .collect()
 }
 
+/// Why an isolated fan-out item failed: it panicked, or it completed but
+/// blew past its wall-clock budget. Campaign retry accounting treats the
+/// two differently (a timeout names a wedged-simulator seed worth a
+/// deadline bump; a panic names a reproducible bug).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunErrorKind {
+    /// The item panicked; `detail` carries the panic payload.
+    Panic,
+    /// The item exceeded the hard wall-clock budget.
+    Timeout,
+}
+
 /// One failed unit of an isolated fan-out ([`par_map_isolated`]): which
-/// item died, its human-readable label, and the panic payload (or error
-/// text) that killed it.
+/// item died, its human-readable label, how long it ran, and the panic
+/// payload (or timeout description) that killed it.
 #[derive(Clone, Debug)]
 pub struct RunError {
     /// Item index in the input vector.
@@ -92,6 +104,10 @@ pub struct RunError {
     pub label: String,
     /// Panic message or error description.
     pub detail: String,
+    /// How the item failed (panic vs wall-clock budget).
+    pub kind: RunErrorKind,
+    /// Wall-clock time the item ran before failing, in milliseconds.
+    pub elapsed_ms: u64,
 }
 
 impl std::fmt::Display for RunError {
@@ -131,14 +147,65 @@ where
     F: Fn(usize, T) -> R + Sync,
     L: Fn(usize, &T) -> String + Sync,
 {
+    par_map_isolated_budgeted(items, soft_deadline, None, label, f)
+}
+
+/// [`par_map_isolated`] with an additional *hard* wall-clock budget: an
+/// item whose execution exceeds `hard_budget` has its result discarded and
+/// replaced with a [`RunErrorKind::Timeout`] error that names the item
+/// index and its elapsed time, so campaign retry accounting knows exactly
+/// which seed wedged. (Threads cannot be killed mid-simulation, so the
+/// budget is enforced at completion — the item still runs to the end, but
+/// its slot reports the deadline violation instead of the stale result.)
+/// Timeouts are counted under the `par.timeouts` metric.
+pub fn par_map_isolated_budgeted<T, R, F, L>(
+    items: Vec<T>,
+    soft_deadline: Duration,
+    hard_budget: Option<Duration>,
+    label: L,
+    f: F,
+) -> Vec<Result<R, RunError>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+    L: Fn(usize, &T) -> String + Sync,
+{
     let n = items.len();
     let workers = jobs_for(n);
     let guarded = |i: usize, item: T, lbl: &str| -> Result<R, RunError> {
-        std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|p| RunError {
-            index: i,
-            label: lbl.to_string(),
-            detail: panic_text(p),
-        })
+        let started = Instant::now();
+        let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item)));
+        let elapsed = started.elapsed();
+        let elapsed_ms = elapsed.as_millis() as u64;
+        match out {
+            Ok(r) => {
+                if let Some(budget) = hard_budget {
+                    if elapsed > budget {
+                        crate::metrics::add_counter("par.timeouts", 1);
+                        return Err(RunError {
+                            index: i,
+                            label: lbl.to_string(),
+                            detail: format!(
+                                "exceeded the {:.1} s wall-clock budget (ran {:.1} s)",
+                                budget.as_secs_f64(),
+                                elapsed.as_secs_f64()
+                            ),
+                            kind: RunErrorKind::Timeout,
+                            elapsed_ms,
+                        });
+                    }
+                }
+                Ok(r)
+            }
+            Err(p) => Err(RunError {
+                index: i,
+                label: lbl.to_string(),
+                detail: panic_text(p),
+                kind: RunErrorKind::Panic,
+                elapsed_ms,
+            }),
+        }
     };
     if workers <= 1 || n <= 1 {
         return items
@@ -289,6 +356,46 @@ mod tests {
             |_, _| -> u64 { panic!("solo failure") },
         );
         assert!(out[0].as_ref().is_err_and(|e| e.detail.contains("solo failure")));
+    }
+
+    #[test]
+    fn budgeted_map_names_the_item_that_blew_the_budget() {
+        let out = par_map_isolated_budgeted(
+            (0..4).collect::<Vec<u64>>(),
+            Duration::from_secs(60),
+            Some(Duration::from_millis(20)),
+            |_, x| format!("seed-{x}"),
+            |_, x| {
+                if x == 2 {
+                    std::thread::sleep(Duration::from_millis(60));
+                }
+                x + 1
+            },
+        );
+        for (i, r) in out.iter().enumerate() {
+            if i == 2 {
+                let e = r.as_ref().expect_err("item 2 overran its budget");
+                assert_eq!(e.index, 2);
+                assert_eq!(e.kind, RunErrorKind::Timeout);
+                assert_eq!(e.label, "seed-2");
+                assert!(e.elapsed_ms >= 20, "elapsed recorded: {}", e.elapsed_ms);
+                assert!(e.detail.contains("wall-clock budget"), "{}", e.detail);
+            } else {
+                assert_eq!(*r.as_ref().expect("in-budget items succeed"), i as u64 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn panics_are_tagged_with_their_kind_and_elapsed_time() {
+        let out = par_map_isolated(
+            vec![0u64],
+            Duration::from_secs(60),
+            |_, _| "solo".into(),
+            |_, _| -> u64 { panic!("kind check") },
+        );
+        let e = out[0].as_ref().expect_err("panicked");
+        assert_eq!(e.kind, RunErrorKind::Panic);
     }
 
     #[test]

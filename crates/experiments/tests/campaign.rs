@@ -1,0 +1,339 @@
+//! End-to-end fault-tolerance guarantees of the campaign orchestrator.
+//!
+//! These tests drive the real `repro` binary: `repro campaign` spawns
+//! `repro worker` subprocesses over the stdio protocol, so everything
+//! here — worker crashes, orchestrator `kill -9` (simulated by
+//! `--die-after-checkpoints`, which calls `abort()`), journal resume,
+//! cache corruption — exercises the exact production path. The anchor
+//! invariant throughout: a campaign that suffered crashes and resumed
+//! must produce a report **byte-identical** to an uninterrupted run.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tls_campaign_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Pull one counter's value out of a `--metrics` snapshot (counters render
+/// as `"name":value` in the flat JSON the registry writes).
+fn counter(metrics_json: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\":");
+    let Some(at) = metrics_json.find(&key) else {
+        return 0;
+    };
+    metrics_json[at + key.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+/// Common fuzz-campaign flags: 6 seeds in shards of 2 keeps the wall
+/// clock down while still crossing shard boundaries.
+fn fuzz_args(dir: &Path, extra: &[&str]) -> Vec<String> {
+    let mut args: Vec<String> = [
+        "campaign",
+        "fuzz",
+        "--seed",
+        "1",
+        "--iters",
+        "6",
+        "--shard",
+        "2",
+        "--workers",
+        "2",
+        "--backoff-ms",
+        "20",
+        "--backoff-cap-ms",
+        "100",
+        "--artifacts",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    args.push(dir.display().to_string());
+    args.extend(extra.iter().map(|s| s.to_string()));
+    args
+}
+
+#[test]
+fn crashed_and_resumed_campaign_report_is_byte_identical_to_uninterrupted() {
+    // Reference: an uninterrupted run.
+    let clean_dir = tmp("clean");
+    let clean_out = clean_dir.join("report.json");
+    let status = repro()
+        .args(fuzz_args(&clean_dir, &["--out", &clean_out.display().to_string()]))
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "uninterrupted campaign failed: {status}");
+    let clean_report = read(&clean_out);
+
+    // Crash run: shard 1's worker exits mid-shard on its first attempt
+    // (the retry succeeds), and the orchestrator abort()s — kill -9 —
+    // after its second journal checkpoint.
+    let crash_dir = tmp("crash");
+    let crash_out = crash_dir.join("report.json");
+    let metrics_path = crash_dir.join("metrics.json");
+    let status = repro()
+        .args(fuzz_args(
+            &crash_dir,
+            &["--crash-shard", "1", "--die-after-checkpoints", "2"],
+        ))
+        .status()
+        .expect("spawn repro");
+    assert!(
+        !status.success(),
+        "orchestrator was told to abort after 2 checkpoints"
+    );
+    let journal = crash_dir.join("campaign.journal");
+    assert!(journal.exists(), "journal survives the crash");
+
+    // Resume: merges the journaled shards with the missing ones.
+    let output = repro()
+        .args(fuzz_args(
+            &crash_dir,
+            &[
+                "--resume",
+                "--out",
+                &crash_out.display().to_string(),
+                "--metrics",
+                &metrics_path.display().to_string(),
+            ],
+        ))
+        .output()
+        .expect("spawn repro");
+    assert!(
+        output.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(
+        read(&crash_out),
+        clean_report,
+        "crash + kill -9 + resume must merge to a byte-identical report"
+    );
+
+    // The worker crash forced at least one retry, visible in metrics (the
+    // counter may land in either the crashed or the resumed process; the
+    // journal test below pins the resumed run's own accounting).
+    let metrics = read(&metrics_path);
+    assert!(
+        metrics.contains("campaign.shards_completed"),
+        "campaign counters exported: {metrics}"
+    );
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+#[test]
+fn worker_crash_is_retried_with_backoff_and_counted() {
+    let dir = tmp("retry");
+    let metrics_path = dir.join("metrics.json");
+    let output = repro()
+        .args(fuzz_args(
+            &dir,
+            &[
+                "--crash-shard",
+                "2",
+                "--metrics",
+                &metrics_path.display().to_string(),
+            ],
+        ))
+        .output()
+        .expect("spawn repro");
+    assert!(
+        output.status.success(),
+        "one crash within the retry budget must not fail the campaign: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let metrics = read(&metrics_path);
+    assert_eq!(counter(&metrics, "campaign.retries"), 1, "{metrics}");
+    assert_eq!(counter(&metrics, "campaign.worker_deaths"), 1, "{metrics}");
+    assert!(counter(&metrics, "campaign.backoff_ms_total") > 0, "{metrics}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_retry_budget_degrades_to_partial_coverage_exit_6() {
+    let dir = tmp("partial");
+    let out = dir.join("report.json");
+    let status = repro()
+        .args(fuzz_args(
+            &dir,
+            &[
+                "--crash-shard",
+                "1",
+                "--crash-every-attempt",
+                "--max-attempts",
+                "2",
+                "--worker-failures",
+                "10",
+                "--out",
+                &out.display().to_string(),
+            ],
+        ))
+        .status()
+        .expect("spawn repro");
+    assert_eq!(
+        status.code(),
+        Some(6),
+        "partial coverage has its own exit code"
+    );
+    let report = read(&out);
+    assert!(
+        report.contains("\"incomplete\":[1]"),
+        "exactly the crashing shard is incomplete: {report}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inject_campaign_survives_cache_corruption_with_identical_report() {
+    let dir = tmp("cache");
+    let cache_dir = dir.join("cache");
+    let args = |artifacts: &Path, out: &Path, metrics: Option<&Path>| {
+        let mut v: Vec<String> = [
+            "campaign",
+            "inject",
+            "--bench",
+            "go",
+            "--mode",
+            "C",
+            "--quick",
+            "--faults",
+            "maskable",
+            "--seed",
+            "1",
+            "--iters",
+            "8",
+            "--shard",
+            "4",
+            "--workers",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        v.extend([
+            "--cache".to_string(),
+            cache_dir.display().to_string(),
+            "--artifacts".to_string(),
+            artifacts.display().to_string(),
+            "--out".to_string(),
+            out.display().to_string(),
+        ]);
+        if let Some(m) = metrics {
+            v.extend(["--metrics".to_string(), m.display().to_string()]);
+        }
+        v
+    };
+
+    // First run populates the cache.
+    let first_dir = dir.join("first");
+    let first_out = dir.join("first.json");
+    let output = repro()
+        .args(args(&first_dir, &first_out, None))
+        .output()
+        .expect("spawn repro");
+    assert!(
+        output.status.success(),
+        "first inject campaign failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let entries: Vec<PathBuf> = std::fs::read_dir(&cache_dir)
+        .expect("cache dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "tlscache"))
+        .collect();
+    assert!(!entries.is_empty(), "first run populated the compile cache");
+
+    // Flip one byte in a cache entry. The second run must detect the
+    // corruption, recompile, and still produce the identical report.
+    let victim = &entries[0];
+    let mut bytes = std::fs::read(victim).expect("read cache entry");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(victim, &bytes).expect("corrupt cache entry");
+
+    let second_dir = dir.join("second");
+    let second_out = dir.join("second.json");
+    let metrics_path = dir.join("metrics.json");
+    let output = repro()
+        .args(args(&second_dir, &second_out, Some(&metrics_path)))
+        .output()
+        .expect("spawn repro");
+    assert!(
+        output.status.success(),
+        "inject campaign with a corrupted cache entry failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(
+        read(&first_out),
+        read(&second_out),
+        "cache corruption must never change campaign results"
+    );
+    // Both workers may race to read the corrupted entry before one of
+    // them recompiles and replaces it, so the count is >= 1, not == 1.
+    let metrics = read(&metrics_path);
+    assert!(
+        counter(&metrics, "campaign.cache.corrupt") >= 1,
+        "corruption is counted: {metrics}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn requested_stop_drains_immediately_to_a_partial_report() {
+    // In-process: the stop flag is process-global, so this test runs the
+    // orchestrator directly rather than through the binary (the other
+    // tests' subprocesses each have their own flag).
+    let dir = tmp("drain");
+    let spec = tls_experiments::orchestrate::CampaignSpec {
+        kind: tls_experiments::proto::JobSpec::Fuzz {
+            family: tls_ir::GenFamily::Baseline,
+            break_forwarding: false,
+        },
+        seed0: 1,
+        total: 6,
+        shard_size: 2,
+        workers: 1,
+        max_attempts: 3,
+        worker_failure_budget: 2,
+        job_deadline: std::time::Duration::from_secs(600),
+        heartbeat_timeout: std::time::Duration::from_secs(120),
+        backoff_base: std::time::Duration::from_millis(20),
+        backoff_cap: std::time::Duration::from_millis(100),
+        artifacts: dir.clone(),
+        resume: false,
+        worker_cmd: vec![env!("CARGO_BIN_EXE_repro").to_string(), "worker".to_string()],
+        crash_shard: None,
+        crash_every_attempt: false,
+        die_after_checkpoints: None,
+    };
+    tls_experiments::orchestrate::request_stop();
+    let report = tls_experiments::orchestrate::run_campaign(&spec).expect("drained campaign");
+    tls_experiments::orchestrate::clear_stop();
+    assert!(report.partial(), "a drained campaign has partial coverage");
+    assert_eq!(report.completed.len(), 0, "nothing was dispatched");
+    assert_eq!(report.incomplete, vec![0, 1, 2]);
+    assert!(
+        dir.join("campaign.journal").exists(),
+        "the journal exists even for a fully drained campaign"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

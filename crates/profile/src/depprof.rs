@@ -61,7 +61,7 @@ pub struct DepEdge {
 }
 
 /// Everything profiled about one loop.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct LoopProfile {
     /// Dynamic instances of the loop (times it was entered).
     pub instances: u64,
@@ -131,7 +131,7 @@ impl LoopProfile {
 }
 
 /// The result of a profiling run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DepProfile {
     /// Per-loop profiles.
     pub loops: HashMap<LoopKey, LoopProfile>,
@@ -141,6 +141,27 @@ pub struct DepProfile {
 }
 
 impl DepProfile {
+    /// Reassemble a profile from its parts — the inverse of field access
+    /// for external serializers (the experiment-side compile cache persists
+    /// profiles to disk and rebuilds them through this).
+    pub fn from_parts(
+        loops: HashMap<LoopKey, LoopProfile>,
+        total_dyn_instrs: u64,
+        ctx_paths: Vec<Vec<Sid>>,
+    ) -> Self {
+        Self {
+            loops,
+            total_dyn_instrs,
+            ctx_paths,
+        }
+    }
+
+    /// All interned call paths, indexed by [`CtxId`] (`0` is always the
+    /// empty stack). The counterpart of [`Self::from_parts`].
+    pub fn ctx_paths(&self) -> &[Vec<Sid>] {
+        &self.ctx_paths
+    }
+
     /// The call path (call-site sids, outermost first) behind a context id.
     ///
     /// # Panics
